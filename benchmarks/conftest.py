@@ -1,0 +1,70 @@
+"""Benchmark harness plumbing.
+
+Every bench regenerates one table or figure of the paper and reports the
+reproduced rows next to the paper's numbers.  Reports are printed in the
+terminal summary (so they appear in ``bench_output.txt``) and written to
+``benchmarks/results/<id>.txt``; figure benches additionally drop PGM/PPM
+images into ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_reports: List[Tuple[str, str]] = []
+
+
+def _record(report_id: str, text: str) -> None:
+    _reports.append((report_id, text))
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{report_id}.txt"), "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+
+
+@pytest.fixture
+def paper_report():
+    """``paper_report(id, text)`` — record a paper-vs-reproduction report."""
+    return _record
+
+
+@pytest.fixture
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _reports:
+        return
+    terminalreporter.write_sep("=", "paper reproduction reports")
+    for report_id, text in _reports:
+        terminalreporter.write_sep("-", report_id)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+def format_cells_table(
+    paper: "dict[tuple[int, int], float]",
+    model: "dict[tuple[int, int], float]",
+    processor_counts=(1, 2, 4, 8),
+    pipe_counts=(1, 2, 4),
+) -> str:
+    """Side-by-side paper-vs-model table in the paper's layout."""
+    lines = ["nP\\nG " + " ".join(f"{ng:>13d}" for ng in pipe_counts),
+             "      " + " ".join(f"{'paper/model':>13s}" for _ in pipe_counts)]
+    for np_ in processor_counts:
+        cells = []
+        for ng in pipe_counts:
+            if (np_, ng) in paper:
+                p = paper[(np_, ng)]
+                m = model[(np_, ng)]
+                cells.append(f"{p:5.1f} /{m:6.2f}")
+            else:
+                cells.append(" " * 13)
+        lines.append(f"{np_:>5d} " + " ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Ablation: processor-to-pipe balance (design choice 1 of DESIGN.md).
+
+Section 3's "balanced resource allocation" tradeoff: too few processors
+starve the pipe, too many saturate it.  The paper observes the optimum
+at ~4 processors per pipe for both workloads; this bench sweeps the
+ratio and locates the knee.
+"""
+
+from repro.machine.analytic import balanced_processors_per_pipe
+from repro.machine.schedule import simulate_texture
+from repro.machine.workload import SpotWorkload
+from repro.machine.workstation import WorkstationConfig
+
+
+def sweep_ratio(workload):
+    rates = {}
+    for n_proc in range(1, 13):
+        rates[n_proc] = simulate_texture(
+            WorkstationConfig(n_proc, 1), workload
+        ).textures_per_second
+    return rates
+
+
+def test_balance_report(benchmark, paper_report):
+    w1 = SpotWorkload.atmospheric()
+    w2 = SpotWorkload.turbulence()
+    r1 = benchmark.pedantic(sweep_ratio, args=(w1,), rounds=1, iterations=1)
+    r2 = sweep_ratio(w2)
+
+    lines = ["processors per pipe (1 pipe) -> textures/s:",
+             f"{'nP':>3s} {'atmospheric':>12s} {'turbulence':>11s}"]
+    for n in sorted(r1):
+        lines.append(f"{n:3d} {r1[n]:12.2f} {r2[n]:11.2f}")
+    lines.append(
+        f"analytic balance points: atmospheric {balanced_processors_per_pipe(w1):.1f}, "
+        f"turbulence {balanced_processors_per_pipe(w2):.1f} processors/pipe "
+        "(paper: 'approximately 4')"
+    )
+    paper_report("ablation_balance", "\n".join(lines))
+
+    for rates in (r1, r2):
+        # Gains up to ~4, then a flat (or slightly declining) plateau.
+        assert rates[4] > 1.8 * rates[1] / 2.0 * 2 * 0.9  # real speedup to 4
+        assert rates[4] > rates[2] > rates[1]
+        plateau = max(rates[n] for n in (5, 6, 7, 8, 10, 12))
+        assert plateau < rates[4] * 1.15

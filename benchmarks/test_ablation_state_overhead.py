@@ -1,0 +1,53 @@
+"""Ablation: OpenGL state-machine overhead (design choice 3 of DESIGN.md).
+
+Section 4: spot transformation is performed in software "thus avoiding
+the high synchronization overhead costs for setting transformation
+matrices for each rendered spot" (the InfiniteReality synchronises four
+geometry processors per matrix set).  This bench quantifies the tradeoff
+by simulating the rejected design: cheaper per-vertex CPU work but one
+synchronising state change per spot.
+"""
+
+from repro.machine.costs import CostModel
+from repro.machine.schedule import simulate_texture
+from repro.machine.workload import SpotWorkload
+from repro.machine.workstation import WorkstationConfig
+
+
+def compare(workload, sync_cost):
+    # 8 processors driving one pipe: the pipe is the bottleneck, which is
+    # when per-spot synchronisation stalls hurt (with idle pipes the
+    # rejected design can actually win — worth knowing, see the report).
+    costs = CostModel.onyx2().with_overrides(pipe_state_sync_s=sync_cost)
+    cfg = WorkstationConfig(8, 1)
+    software = simulate_texture(cfg, workload, costs=costs, hardware_transform=False)
+    hardware = simulate_texture(cfg, workload, costs=costs, hardware_transform=True)
+    return software, hardware
+
+
+def test_state_overhead_report(benchmark, paper_report):
+    w2 = SpotWorkload.turbulence()
+    software, hardware = benchmark.pedantic(
+        compare, args=(w2, CostModel.onyx2().pipe_state_sync_s), rounds=1, iterations=1
+    )
+    # Sensitivity: how cheap would the sync have to be for hardware
+    # transform to win?  "If the OpenGL state machine overhead was smaller
+    # then spot transformation could be performed on the graphics pipe."
+    crossover = None
+    for sync in (5e-6, 2e-6, 1e-6, 5e-7, 2e-7, 1e-7, 0.0):
+        sw, hw = compare(w2, sync)
+        if hw.makespan_s <= sw.makespan_s:
+            crossover = sync
+            break
+
+    lines = [
+        "spot transform placement, turbulence workload (8 procs, 1 pipe — pipe-bound):",
+        f"  software transform (paper's choice): {software.textures_per_second:.2f} tex/s",
+        f"  hardware transform (+1 sync/spot):   {hardware.textures_per_second:.2f} tex/s",
+        f"  sync cost crossover: {'%.1e s' % crossover if crossover is not None else 'none found'}"
+        " (paper's footnote-1 overhead is far above it)",
+    ]
+    paper_report("ablation_state_overhead", "\n".join(lines))
+
+    assert hardware.makespan_s > software.makespan_s
+    assert crossover is not None and crossover < CostModel.onyx2().pipe_state_sync_s

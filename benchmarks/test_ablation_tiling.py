@@ -1,0 +1,83 @@
+"""Ablation: texture tiling (design choice 2 of DESIGN.md).
+
+Section 3's texture-decomposition tradeoff: tiles shrink the partial
+textures (cheaper sequential blend, less texture memory) but duplicate
+border spots (more spot work).  Which side wins depends on the spot
+extent — exactly what this bench maps out, in both the machine model and
+the real runtime.
+"""
+
+import numpy as np
+
+from repro.advection.particles import ParticleSet
+from repro.core.config import SpotNoiseConfig
+from repro.fields.analytic import random_smooth_field
+from repro.machine.schedule import simulate_texture
+from repro.machine.workload import SpotWorkload
+from repro.machine.workstation import WorkstationConfig
+from repro.parallel.runtime import DivideAndConquerRuntime
+
+FIELD = random_smooth_field(seed=11, n=33)
+
+
+def model_comparison(workload):
+    cfg = WorkstationConfig(8, 4)
+    untiled = simulate_texture(cfg, workload, tiled=False)
+    tiled = simulate_texture(cfg, workload, tiled=True)
+    return untiled, tiled
+
+
+def real_duplication(guard_px):
+    cfg = SpotNoiseConfig(
+        n_spots=2000,
+        texture_size=128,
+        spot_mode="standard",
+        n_groups=4,
+        partition="spatial",
+        guard_px=guard_px,
+        seed=12,
+    )
+    ps = ParticleSet.uniform_random(cfg.n_spots, FIELD.grid.bounds, seed=12)
+    with DivideAndConquerRuntime(cfg) as rt:
+        _, report = rt.synthesize(FIELD, ps)
+    return report.duplication
+
+
+def test_tiling_report(benchmark, paper_report):
+    w2 = SpotWorkload.turbulence()
+    untiled, tiled = benchmark.pedantic(
+        model_comparison, args=(w2,), rounds=1, iterations=1
+    )
+    dup16 = real_duplication(16)
+    dup32 = real_duplication(32)
+
+    lines = [
+        "texture tiling tradeoff, turbulence workload on (8 procs, 4 pipes):",
+        f"  untiled: {untiled.textures_per_second:.2f} tex/s, blend {untiled.blend_s * 1e3:.1f} ms",
+        f"  tiled:   {tiled.textures_per_second:.2f} tex/s, blend {tiled.blend_s * 1e3:.1f} ms, "
+        f"{tiled.duplicated_spots} duplicated spots",
+        "real runtime duplication factor (2000 spots, 2x2 tiles):",
+        f"  guard 16 px: x{dup16:.3f}   guard 32 px: x{dup32:.3f}",
+        "small spots (turbulence): tiling wins — cheap blend, few duplicates;",
+        "large spots pay duplication proportional to extent/tile-size",
+    ]
+    paper_report("ablation_tiling", "\n".join(lines))
+
+    assert tiled.blend_s < untiled.blend_s
+    assert tiled.duplicated_spots > 0
+    # Small DNS spots: duplication overhead is small, tiling is net-positive.
+    assert tiled.textures_per_second > untiled.textures_per_second * 0.95
+    assert 1.0 <= dup16 <= dup32 < 2.0
+
+
+def test_tiled_output_matches_untiled_exactly():
+    cfg = SpotNoiseConfig(
+        n_spots=500, texture_size=96, spot_mode="standard", seed=13
+    )
+    ps = ParticleSet.uniform_random(cfg.n_spots, FIELD.grid.bounds, seed=13)
+    with DivideAndConquerRuntime(cfg) as rt:
+        ref, _ = rt.synthesize(FIELD, ps.copy())
+    tiled_cfg = cfg.with_overrides(n_groups=4, partition="spatial", guard_px=20)
+    with DivideAndConquerRuntime(tiled_cfg) as rt:
+        out, _ = rt.synthesize(FIELD, ps.copy())
+    np.testing.assert_allclose(out, ref, atol=1e-9)

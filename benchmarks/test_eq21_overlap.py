@@ -1,0 +1,54 @@
+"""Equation 2.1: T = max(sum genP_i, sum genT_i).
+
+The sequential generation time is the max — not the sum — of processor
+and pipe work, because the pipe runs concurrently with the processor.
+We sweep the genP/genT ratio by varying the bent-spot mesh resolution
+and confirm the simulated sequential time tracks the max() of the two
+work totals, staying well below their sum.
+"""
+
+import pytest
+
+from repro.machine.analytic import eq21_time, total_genP, total_genT
+from repro.machine.schedule import simulate_texture
+from repro.machine.workload import SpotWorkload
+from repro.machine.workstation import WorkstationConfig
+
+MESHES = [(32, 17), (16, 9), (8, 5), (4, 3)]
+
+
+def sweep_meshes():
+    base = SpotWorkload.atmospheric()
+    rows = []
+    for n_along, n_across in MESHES:
+        w = base.with_mesh(n_along, n_across)
+        genP = total_genP(w)
+        genT = total_genT(w)
+        sim = simulate_texture(WorkstationConfig(1, 1), w).makespan_s
+        rows.append((w, genP, genT, eq21_time(w), sim))
+    return rows
+
+
+def test_eq21_report(benchmark, paper_report):
+    rows = benchmark.pedantic(sweep_meshes, rounds=1, iterations=1)
+    lines = ["eq 2.1 validation (1 processor, 1 pipe), atmospheric workload:",
+             f"{'mesh':>8s} {'genP':>8s} {'genT':>8s} {'max()':>8s} {'simulated':>10s}"]
+    for w, genP, genT, analytic, sim in rows:
+        mesh = w.name.split("-")[-1]
+        lines.append(f"{mesh:>8s} {genP:8.3f} {genT:8.3f} {analytic:8.3f} {sim:10.3f}")
+    lines.append("simulated time tracks max(genP, genT) + overheads, never the sum")
+    paper_report("eq21_overlap", "\n".join(lines))
+
+    for w, genP, genT, analytic, sim in rows:
+        assert sim >= analytic * 0.999          # eq 2.1 is a lower bound
+        assert sim < (genP + genT) * 1.05        # overlap: far below the sum
+        # Within 35% of the bound (overheads: feed, dispatch, blend).
+        assert sim < analytic * 1.35 + 0.05
+
+
+def test_eq21_pipe_bound_workload():
+    # Huge pixel footprints make the pipe the bottleneck; eq 2.1 must then
+    # report genT, independent of genP.
+    w = SpotWorkload.standard_spots(1000, pixels_per_spot=50_000.0)
+    assert eq21_time(w) == pytest.approx(total_genT(w))
+    assert total_genT(w) > total_genP(w)

@@ -1,0 +1,61 @@
+"""Equation 3.2: T = max(genP/nP, genT/nG) + c.
+
+Validates the divide-and-conquer bound against the discrete-event
+simulator across the whole configuration grid, and extracts the
+sequential blend term c the paper blames for sub-linear speedup.
+"""
+
+from repro.machine.analytic import eq32_time, total_genP, total_genT
+from repro.machine.costs import CostModel
+from repro.machine.schedule import simulate_texture
+from repro.machine.workload import SpotWorkload
+from repro.machine.workstation import WorkstationConfig
+
+W1 = SpotWorkload.atmospheric()
+CONFIGS = [(1, 1), (2, 1), (2, 2), (4, 1), (4, 2), (4, 4), (8, 1), (8, 2), (8, 4)]
+
+
+def collect():
+    rows = []
+    for np_, ng in CONFIGS:
+        analytic = eq32_time(W1, np_, ng)
+        sim = simulate_texture(WorkstationConfig(np_, ng), W1)
+        rows.append((np_, ng, analytic, sim.makespan_s, sim.blend_s))
+    return rows
+
+
+def test_eq32_report(benchmark, paper_report):
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    costs = CostModel.onyx2()
+    lines = [
+        "eq 3.2 validation, atmospheric workload:",
+        f"genP = {total_genP(W1):.3f}s  genT = {total_genT(W1):.3f}s",
+        f"{'nP':>3s} {'nG':>3s} {'eq3.2':>8s} {'simulated':>10s} {'blend c':>8s}",
+    ]
+    for np_, ng, analytic, sim, blend in rows:
+        lines.append(f"{np_:3d} {ng:3d} {analytic:8.3f} {sim:10.3f} {blend:8.3f}")
+    lines.append(
+        "c grows with the number of pipes (sequential blending of partial "
+        "textures), which is why 4n processors + n pipes is sub-linear"
+    )
+    paper_report("eq32_scaling", "\n".join(lines))
+
+    blends = {(np_, ng): blend for np_, ng, _, _, blend in rows}
+    # c grows with nG...
+    assert blends[(8, 4)] > blends[(8, 2)] > blends[(8, 1)]
+    # ...and is independent of nP.
+    assert abs(blends[(8, 2)] - blends[(4, 2)]) < 1e-9
+
+    for np_, ng, analytic, sim, _ in rows:
+        assert sim >= analytic * 0.999
+        assert sim <= analytic * 1.4 + 0.05
+
+
+def test_eq32_minimum_requires_growing_both():
+    # Section 3: "T will approach a minimum if and only if both nP and nG
+    # increase."  Fixing either resource bounds the achievable time.
+    floor_pipe_fixed = min(eq32_time(W1, np_, 1) for np_ in (1, 2, 4, 8, 16, 64))
+    floor_cpu_fixed = min(eq32_time(W1, 4, ng) for ng in (1, 2, 4, 8, 16))
+    both = eq32_time(W1, 64, 16)
+    assert both < floor_pipe_fixed
+    assert both < floor_cpu_fixed

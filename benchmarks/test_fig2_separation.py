@@ -1,0 +1,74 @@
+"""Figure 2: separation line visibility via spot-parameter steering.
+
+The paper shows the same skin-friction field twice: with default spot
+noise parameters (top) and with advected spot positions and adjusted
+life cycle (bottom), which concentrates texture evidence along the
+separation line.  We regenerate both renderings on the analytic
+separation field and verify the mechanism quantitatively: under advected
+positions the spot population drifts onto the attracting line, so the
+texture energy concentrates in a band around it.
+"""
+
+import os
+
+import numpy as np
+
+from repro.advection.lifecycle import LifeCyclePolicy
+from repro.core.config import SpotNoiseConfig
+from repro.core.pipeline import SpotNoisePipeline
+from repro.fields.analytic import separation_field
+from repro.viz.image import write_pgm
+
+FIELD = separation_field(line_y=0.0, strength=1.5, along=0.5, n=65)
+CFG = SpotNoiseConfig(
+    n_spots=3000, texture_size=192, spot_mode="standard", anisotropy=1.5, seed=2
+)
+
+
+def band_energy_fraction(texture, half_width_px=24):
+    """Fraction of squared intensity within the separation-line band."""
+    t = np.asarray(texture) ** 2
+    mid = t.shape[0] // 2
+    band = t[mid - half_width_px : mid + half_width_px].sum()
+    return band / t.sum()
+
+
+def render(policy, advect_frames):
+    """Advect the population *advect_frames* times, then synthesise once —
+    the steady state a user watching the animation converges to."""
+    with SpotNoisePipeline(CFG, FIELD, policy=policy) as pipe:
+        for _ in range(advect_frames):
+            pipe.advect()
+        return pipe.step()
+
+
+def test_fig2_report(benchmark, paper_report, results_dir):
+    default_frame = render(LifeCyclePolicy.default_spot_noise(), 1)
+
+    advected_frame = benchmark.pedantic(
+        render,
+        args=(LifeCyclePolicy(position_mode="advect", boundary="clamp", lifetime=0), 250),
+        rounds=1,
+        iterations=1,
+    )
+
+    write_pgm(os.path.join(results_dir, "fig2_default.pgm"), default_frame.display)
+    write_pgm(os.path.join(results_dir, "fig2_advected.pgm"), advected_frame.display)
+
+    f_default = band_energy_fraction(default_frame.texture)
+    f_advected = band_energy_fraction(advected_frame.texture)
+    band = 48 / 192
+    report = (
+        "Figure 2 regenerated: fig2_default.pgm (top), fig2_advected.pgm (bottom)\n"
+        f"texture energy within the separation band ({band:.0%} of the image):\n"
+        f"  default parameters:  {f_default:.2f}\n"
+        f"  advected positions:  {f_advected:.2f}\n"
+        "advected spot positions concentrate evidence on the separation line,\n"
+        "matching the paper's qualitative claim"
+    )
+    paper_report("fig2_separation", report)
+
+    # Default spots are uniform: band fraction ~ band area share.
+    assert abs(f_default - band) < 0.12
+    # Advected spots converge onto the line: strong concentration.
+    assert f_advected > f_default + 0.25

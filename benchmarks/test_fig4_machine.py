@@ -1,0 +1,45 @@
+"""Figure 4: the simplified graphics workstation model.
+
+The reproducible content of the figure is the machine model itself plus
+the paper's bus arithmetic: at the best atmospheric rate (5.6 tex/s) the
+raw geometric data needs ~116 MB/s, "well below the maximum of 800
+MBytes/sec" — i.e. assumption 1 of eq 2.1 holds.
+"""
+
+import pytest
+
+from repro.machine.schedule import simulate_texture
+from repro.machine.workload import SpotWorkload
+from repro.machine.workstation import WorkstationConfig
+
+W1 = SpotWorkload.atmospheric()
+
+
+def test_fig4_report(benchmark, paper_report):
+    result = benchmark(simulate_texture, WorkstationConfig(8, 4), W1)
+
+    rate = result.textures_per_second
+    geometry_MBps = W1.total_bytes * rate / 1e6
+    report = (
+        WorkstationConfig(8, 4).describe()
+        + "\n"
+        + f"geometry per texture: {W1.total_bytes / 1e6:.1f} MB\n"
+        + f"at the model's best rate ({rate:.2f} tex/s): {geometry_MBps:.0f} MB/s of "
+        + "raw geometric data\n"
+        + "paper: 'approximately 116 MBytes/sec ... well below the maximum of 800'\n"
+        + f"simulated bus utilisation: {result.bus_busy_s / result.makespan_s:5.1%}"
+    )
+    paper_report("fig4_machine_model", report)
+
+    # The paper's figure: ~116 MB/s at 5.6 tex/s (21.8 MB/texture * rate).
+    assert geometry_MBps == pytest.approx(116.0, rel=0.25)
+    # Assumption 1 of eq 2.1: bandwidth is not the limiting factor.
+    assert geometry_MBps < 0.25 * 800.0
+    assert result.bus_busy_s < 0.25 * result.makespan_s
+
+
+def test_fig4_even_processor_partition():
+    cfg = WorkstationConfig(8, 4)
+    assert cfg.processors_per_group() == [2, 2, 2, 2]
+    groups = cfg.group_sizes()
+    assert all(masters == 1 for masters, _ in groups)

@@ -1,0 +1,71 @@
+"""Honest engineering data: the Python renderer's own throughput.
+
+The paper's numbers come from 1997 graphics hardware; this bench records
+what *this* implementation achieves on *this* host for scaled versions of
+both workloads, so users know the real cost of a texture before asking
+the machine model about hypothetical hardware.
+"""
+
+import time
+
+from repro.advection.particles import ParticleSet
+from repro.core.config import BentConfig, SpotNoiseConfig
+from repro.fields.analytic import random_smooth_field
+from repro.parallel.runtime import DivideAndConquerRuntime
+
+FIELD_ATM = random_smooth_field(seed=21, n=53)
+FIELD_DNS = random_smooth_field(seed=22, n=139)
+
+# Scaled workloads: paper spot density on a quarter-resolution texture,
+# reduced bent meshes (the full 32x17 mesh is a hardware-scale workload).
+CONFIGS = {
+    "atmospheric/4": (
+        FIELD_ATM,
+        SpotNoiseConfig(
+            n_spots=2500,
+            texture_size=128,
+            spot_mode="bent",
+            bent=BentConfig(n_along=8, n_across=5, length_cells=4.0, width_cells=1.2),
+            seed=23,
+        ),
+    ),
+    "turbulence/16": (
+        FIELD_DNS,
+        SpotNoiseConfig(
+            n_spots=2500,
+            texture_size=128,
+            spot_mode="bent",
+            bent=BentConfig(n_along=6, n_across=3, length_cells=3.0, width_cells=0.8),
+            seed=23,
+        ),
+    ),
+}
+
+
+def render_once(name):
+    field, cfg = CONFIGS[name]
+    ps = ParticleSet.uniform_random(cfg.n_spots, field.grid.bounds, seed=cfg.seed)
+    with DivideAndConquerRuntime(cfg) as rt:
+        texture, report = rt.synthesize(field, ps)
+    return texture, report
+
+
+def test_real_throughput_report(benchmark, paper_report):
+    texture, _ = benchmark.pedantic(render_once, args=("atmospheric/4",), rounds=2, iterations=1)
+    assert texture.shape == (128, 128)
+
+    lines = ["this implementation, this host (Python + numpy, 1 CPU):",
+             f"{'workload':>16s} {'spots':>6s} {'quads':>8s} {'seconds':>8s} {'tex/s':>6s}"]
+    for name in CONFIGS:
+        t0 = time.perf_counter()
+        _, report = render_once(name)
+        dt = time.perf_counter() - t0
+        lines.append(
+            f"{name:>16s} {CONFIGS[name][1].n_spots:6d} "
+            f"{report.counters.quads_drawn:8d} {dt:8.2f} {1.0 / dt:6.2f}"
+        )
+    lines.append(
+        "the 1997 Onyx2 did the full-size versions at 5.6 / 3.5 tex/s in "
+        "hardware; the calibrated model (tables 1-2) stands in for it"
+    )
+    paper_report("real_throughput", "\n".join(lines))

@@ -1,0 +1,80 @@
+"""Table 1: textures/second for the atmospheric pollution workload.
+
+Paper (SGI Onyx2, 2500 bent spots, 32x17 meshes, 512^2 texture):
+
+    nP\\nG    1     2     4
+      1    1.0
+      2    2.0   2.0
+      4    2.8   3.6   3.9
+      8    2.7   4.9   5.6
+
+Reproduced by sweeping the calibrated workstation model over the same
+(processors, pipes) grid.  Shape criteria asserted: saturation at ~4
+processors/pipe, pipes useless without processors, sub-linear combined
+scaling (sequential blend), Table-2 ordering, and every cell within a
+bounded factor of the paper's number.
+"""
+
+import pytest
+
+from benchmarks.conftest import format_cells_table
+from repro.machine.schedule import simulate_texture, sweep_configurations
+from repro.machine.workload import SpotWorkload
+from repro.machine.workstation import WorkstationConfig
+
+PAPER_TABLE1 = {
+    (1, 1): 1.0,
+    (2, 1): 2.0, (2, 2): 2.0,
+    (4, 1): 2.8, (4, 2): 3.6, (4, 4): 3.9,
+    (8, 1): 2.7, (8, 2): 4.9, (8, 4): 5.6,
+}
+
+WORKLOAD = SpotWorkload.atmospheric()
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return sweep_configurations(WORKLOAD)
+
+
+def test_table1_report(benchmark, paper_report):
+    sweep = benchmark.pedantic(
+        sweep_configurations, args=(WORKLOAD,), rounds=3, iterations=1
+    )
+    model = {k: r.textures_per_second for k, r in sweep.items()}
+    text = format_cells_table(PAPER_TABLE1, model)
+    worst = max(
+        max(model[k] / PAPER_TABLE1[k], PAPER_TABLE1[k] / model[k]) for k in PAPER_TABLE1
+    )
+    text += f"\nworst cell deviation: x{worst:.2f}"
+    paper_report("table1_atmospheric", text)
+    assert worst < 1.35  # every cell within 35% of the paper
+
+
+def test_table1_shape_saturation(sweep):
+    # "a maximum of approximately 4 processors per graphics pipe"
+    assert sweep[(8, 1)].textures_per_second <= sweep[(4, 1)].textures_per_second * 1.05
+
+
+def test_table1_shape_pipes_need_processors(sweep):
+    assert sweep[(2, 2)].textures_per_second <= sweep[(2, 1)].textures_per_second * 1.1
+
+
+def test_table1_shape_best_is_full_machine(sweep):
+    best = max(sweep, key=lambda k: sweep[k].textures_per_second)
+    assert best == (8, 4)
+
+
+def test_table1_shape_sublinear_blend_overhead(sweep):
+    # (8, 2) runs 4 CPUs/pipe like (4, 1): speedup must be < 2x (eq 3.2 c).
+    assert (
+        sweep[(8, 2)].textures_per_second
+        < 2.0 * sweep[(4, 1)].textures_per_second
+    )
+
+
+def test_benchmark_simulate_full_machine(benchmark):
+    result = benchmark(
+        simulate_texture, WorkstationConfig(8, 4), WORKLOAD
+    )
+    assert result.textures_per_second > 3.0

@@ -1,0 +1,74 @@
+"""Table 2: textures/second for the turbulent flow workload.
+
+Paper (40 000 bent spots, 16x3 meshes, 512^2 texture, 278x208 grid):
+
+    nP\\nG    1     2     4
+      1    0.7
+      2    1.3   1.3
+      4    2.1   2.1   2.4
+      8    2.5   3.2   3.5
+"""
+
+import pytest
+
+from benchmarks.conftest import format_cells_table
+from repro.machine.schedule import simulate_texture, sweep_configurations
+from repro.machine.workload import SpotWorkload
+from repro.machine.workstation import WorkstationConfig
+
+PAPER_TABLE2 = {
+    (1, 1): 0.7,
+    (2, 1): 1.3, (2, 2): 1.3,
+    (4, 1): 2.1, (4, 2): 2.1, (4, 4): 2.4,
+    (8, 1): 2.5, (8, 2): 3.2, (8, 4): 3.5,
+}
+
+WORKLOAD = SpotWorkload.turbulence()
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return sweep_configurations(WORKLOAD)
+
+
+def test_table2_report(benchmark, paper_report):
+    sweep = benchmark.pedantic(
+        sweep_configurations, args=(WORKLOAD,), rounds=3, iterations=1
+    )
+    model = {k: r.textures_per_second for k, r in sweep.items()}
+    text = format_cells_table(PAPER_TABLE2, model)
+    worst = max(
+        max(model[k] / PAPER_TABLE2[k], PAPER_TABLE2[k] / model[k]) for k in PAPER_TABLE2
+    )
+    text += f"\nworst cell deviation: x{worst:.2f}"
+    text += (
+        f"\nbus geometry per texture: {WORKLOAD.total_bytes / 1e6:.1f} MB "
+        "(paper: approximately 31.0 MB)"
+    )
+    paper_report("table2_turbulence", text)
+    assert worst < 1.35
+
+
+def test_table2_structure_similar_to_table1(sweep):
+    # "The structure of table 2 is very similar to that of table 1."
+    assert sweep[(2, 2)].textures_per_second <= sweep[(2, 1)].textures_per_second * 1.1
+    best = max(sweep, key=lambda k: sweep[k].textures_per_second)
+    assert best in {(8, 4), (8, 2)}
+
+
+def test_table2_rates_below_table1(sweep):
+    # "The numbers given in table 1 are somewhat higher" — 16x the spots
+    # outweighs the smaller per-spot mesh.
+    t1 = sweep_configurations(SpotWorkload.atmospheric())
+    for key, res in sweep.items():
+        assert res.textures_per_second < t1[key].textures_per_second
+
+
+def test_table2_bus_traffic_31MB():
+    # §5.2: "approximately 31.0 megabyte per texture".
+    assert WORKLOAD.total_bytes == pytest.approx(31.0e6, rel=0.03)
+
+
+def test_benchmark_simulate_full_machine(benchmark):
+    result = benchmark(simulate_texture, WorkstationConfig(8, 4), WORKLOAD)
+    assert result.textures_per_second > 2.0

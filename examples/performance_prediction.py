@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Predicting throughput on arbitrary workstation shapes.
+
+Uses the calibrated Onyx2 machine model to regenerate the paper's
+Tables 1 and 2, then answers the paper's own open question (footnote 3):
+what would 16 processors and 4 pipes achieve?  Finally it sizes a custom
+workload through the same model.
+
+Run:  python examples/performance_prediction.py
+"""
+
+from repro import SpotNoiseConfig, SpotNoiseSynthesizer
+from repro.fields import random_smooth_field
+from repro.machine import SpotWorkload, WorkstationConfig, simulate_texture
+from repro.machine.schedule import format_table, sweep_configurations
+
+
+def main() -> None:
+    for name, workload in (
+        ("Table 1 (atmospheric pollution)", SpotWorkload.atmospheric()),
+        ("Table 2 (turbulent flow)", SpotWorkload.turbulence()),
+    ):
+        print(f"{name} — modelled textures/second:")
+        print(format_table(sweep_configurations(workload)))
+        print()
+
+    # Footnote 3: "We expect, but have not verified, that when using 4
+    # graphics pipes an optimal performance will be achieved by using 16
+    # processors."  The model can verify it:
+    w1 = SpotWorkload.atmospheric()
+    for n_proc in (8, 12, 16, 20, 24):
+        r = simulate_texture(WorkstationConfig(n_proc, 4), w1)
+        print(f"  {n_proc:2d} processors x 4 pipes: {r.textures_per_second:5.2f} tex/s")
+    print("(the knee sits near 16 processors, as the authors expected)\n")
+
+    # A custom configuration through the high-level API.
+    field = random_smooth_field(seed=0, n=96)
+    config = SpotNoiseConfig.turbulence(n_spots=10_000)
+    with SpotNoiseSynthesizer(config) as synth:
+        result = synth.predict_timing(field, n_processors=8, n_pipes=4)
+    print(f"custom workload (10k bent spots): {result.textures_per_second:.2f} tex/s "
+          f"on the full Onyx2, bus {result.bus_bandwidth_used_Bps / 1e6:.0f} MB/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: synthesise a spot noise texture of a vortex and save it.
+
+Run:  python examples/quickstart.py
+
+Produces ``quickstart_vortex.pgm`` (the flow texture) and
+``quickstart_isotropic.pgm`` (the same spots without flow deformation)
+next to this script, plus a one-line summary per texture.
+"""
+
+import os
+
+from repro import SpotNoiseConfig, SpotNoiseSynthesizer
+from repro.fields import vortex_field
+from repro.viz import anisotropy_direction, write_pgm
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def main() -> None:
+    field = vortex_field(omega=1.0, n=65)
+
+    # Spot noise with flow-aligned spot stretching: the texture shows the
+    # circular streamlines of the vortex.
+    config = SpotNoiseConfig(
+        n_spots=6000,
+        texture_size=256,
+        spot_mode="standard",
+        anisotropy=2.0,
+        profile="gaussian",
+        seed=42,
+    )
+    with SpotNoiseSynthesizer(config) as synth:
+        frame = synth.synthesize(field)
+    out = os.path.join(HERE, "quickstart_vortex.pgm")
+    write_pgm(out, frame.display)
+    angle, strength = anisotropy_direction(frame.texture)
+    print(f"wrote {out}")
+    print(f"  {config.n_spots} spots, texture {frame.display.shape}, "
+          f"local anisotropy strength {strength:.2f}")
+
+    # The control: anisotropy 0 keeps the spots circular; the texture is
+    # isotropic noise that shows no flow at all.
+    with SpotNoiseSynthesizer(config.with_overrides(anisotropy=0.0)) as synth:
+        frame0 = synth.synthesize(field)
+    out0 = os.path.join(HERE, "quickstart_isotropic.pgm")
+    write_pgm(out0, frame0.display)
+    _, strength0 = anisotropy_direction(frame0.texture)
+    print(f"wrote {out0}")
+    print(f"  same spots, no deformation: anisotropy strength {strength0:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""The figure-2 separation study: steering spot parameters.
+
+Renders the same separation-line flow twice — once with default spot
+noise parameters and once with advected spot positions — and reports how
+strongly each rendering concentrates texture evidence on the separation
+line.  This is the "adjusting parameters ... provides the user with a
+mechanism to highlight certain aspects of the flow" workflow of figure 2.
+
+Run:  python examples/separation_study.py
+"""
+
+import os
+
+import numpy as np
+
+from repro import SpotNoiseConfig
+from repro.advection import LifeCyclePolicy
+from repro.core import SpotNoisePipeline
+from repro.fields import separation_field
+from repro.viz import write_pgm
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def band_fraction(texture: np.ndarray, half_width: int = 32) -> float:
+    """Share of squared texture intensity within the separation band."""
+    t = np.asarray(texture) ** 2
+    mid = t.shape[0] // 2
+    return float(t[mid - half_width : mid + half_width].sum() / t.sum())
+
+
+def main() -> None:
+    field = separation_field(line_y=0.0, strength=1.5, along=0.5, n=65)
+    config = SpotNoiseConfig(
+        n_spots=4000, texture_size=256, spot_mode="standard", anisotropy=1.5, seed=3
+    )
+
+    # Default parameters: static spot positions (figure 2, top).
+    with SpotNoisePipeline(
+        config, field, policy=LifeCyclePolicy.default_spot_noise()
+    ) as pipe:
+        default = pipe.step()
+    write_pgm(os.path.join(HERE, "separation_default.pgm"), default.display)
+
+    # Advected positions (figure 2, bottom): the spots drift onto the
+    # attracting separation line and make it stand out.
+    policy = LifeCyclePolicy(position_mode="advect", boundary="clamp")
+    with SpotNoisePipeline(config, field, policy=policy) as pipe:
+        for _ in range(300):
+            pipe.advect()
+        advected = pipe.step()
+    write_pgm(os.path.join(HERE, "separation_advected.pgm"), advected.display)
+
+    print("texture energy within the separation band (1/4 of the image):")
+    print(f"  default parameters: {band_fraction(default.texture):.2f}")
+    print(f"  advected positions: {band_fraction(advected.texture):.2f}")
+    print("wrote separation_default.pgm and separation_advected.pgm")
+
+
+if __name__ == "__main__":
+    main()

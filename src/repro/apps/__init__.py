@@ -1,0 +1,12 @@
+"""Driving applications of the paper (section 5).
+
+Two applications motivated interactive spot noise and provide the
+evaluation workloads:
+
+* :mod:`repro.apps.smog` — computational steering of an atmospheric
+  pollution model [6]: a 53x55 wind-field slice with pollutant transport,
+  steerable emission/meteorology/geography parameters (§5.1, figure 6);
+* :mod:`repro.apps.dns` — browsing a direct-numerical-simulation
+  database [7]: a 2-D turbulent wake behind a block on a 278x208 grid,
+  stored as a chunked time series (§5.2, figure 7).
+"""

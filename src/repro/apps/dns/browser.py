@@ -1,0 +1,99 @@
+"""The data browser.
+
+"In contrast to prerecorded video sequences, the data browser allows the
+user to first select visualization mappings and then play through any
+part of the data base" (section 5.2).  A
+:class:`VisualizationMapping` chooses what scalar (if any) is draped over
+the spot noise texture; :class:`DataBrowser` binds a mapping to a
+:class:`~repro.apps.dns.store.ChunkedFieldStore` and yields frames for
+the animation loop, supporting random seeks and strided playback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Tuple, Union
+
+from repro.apps.dns.store import ChunkedFieldStore
+from repro.errors import ApplicationError
+from repro.fields.derived import (
+    magnitude_field,
+    okubo_weiss_field,
+    vorticity_field,
+)
+from repro.fields.scalarfield import ScalarField2D
+from repro.fields.vectorfield import VectorField2D
+
+_SCALAR_MAPPINGS: "dict[str, Callable[[VectorField2D], ScalarField2D]]" = {
+    "vorticity": vorticity_field,
+    "speed": magnitude_field,
+    "okubo_weiss": okubo_weiss_field,
+}
+
+
+@dataclass(frozen=True)
+class VisualizationMapping:
+    """What the browser shows: flow texture plus an optional scalar drape."""
+
+    scalar: Optional[str] = "vorticity"
+    colormap: str = "diverging"
+
+    def __post_init__(self) -> None:
+        if self.scalar is not None and self.scalar not in _SCALAR_MAPPINGS:
+            raise ApplicationError(
+                f"unknown scalar mapping {self.scalar!r}; "
+                f"available: {sorted(_SCALAR_MAPPINGS)} or None"
+            )
+
+    def derive(self, field: VectorField2D) -> Optional[ScalarField2D]:
+        if self.scalar is None:
+            return None
+        return _SCALAR_MAPPINGS[self.scalar](field)
+
+
+class DataBrowser:
+    """Random-access playback over a stored DNS database."""
+
+    def __init__(self, store: ChunkedFieldStore, mapping: Optional[VisualizationMapping] = None):
+        self.store = store
+        self.mapping = mapping or VisualizationMapping()
+        self.position = 0
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def select_mapping(self, mapping: VisualizationMapping) -> None:
+        """Change the visualisation mapping (step 1 of the browser workflow)."""
+        self.mapping = mapping
+
+    def seek(self, frame: int) -> None:
+        if not (0 <= frame < len(self.store)):
+            raise ApplicationError(f"seek {frame} out of range [0, {len(self.store)})")
+        self.position = frame
+
+    def current(self) -> "tuple[VectorField2D, Optional[ScalarField2D]]":
+        field = self.store.read(self.position)
+        return field, self.mapping.derive(field)
+
+    def play(
+        self, start: Optional[int] = None, stop: Optional[int] = None, stride: int = 1
+    ) -> Iterator["tuple[VectorField2D, Optional[ScalarField2D]]"]:
+        """Play through any part of the database (step 2 of the workflow)."""
+        start = self.position if start is None else start
+        stop = len(self.store) if stop is None else stop
+        if stride < 1:
+            raise ApplicationError(f"stride must be >= 1, got {stride}")
+        for t in range(start, min(stop, len(self.store)), stride):
+            self.position = t
+            yield self.current()
+
+    def frame_source(self, t: int) -> Union[VectorField2D, "tuple[VectorField2D, ScalarField2D]"]:
+        """Adapter for :class:`~repro.core.animation.AnimationLoop`.
+
+        Plays forward from the current position with wraparound, so an
+        animation of N frames can start anywhere in the database.
+        """
+        index = (self.position + t) % max(len(self.store), 1)
+        field = self.store.read(index)
+        scalar = self.mapping.derive(field)
+        return field if scalar is None else (field, scalar)

@@ -1,0 +1,183 @@
+"""Chunked on-disk time-series store for DNS slices.
+
+"A few weeks of computing can easily produce a few terabytes of data.  A
+data browser is being developed to analyse such scientific data bases"
+(section 5.2).  This store is that database substrate at laptop scale:
+frames are appended sequentially, packed into fixed-size chunk files
+(compressed ``.npz``), random access loads exactly one chunk, and a
+one-chunk LRU cache makes sequential playback and local scrubbing cheap —
+the access patterns a browser generates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.errors import StoreError
+from repro.fields.grid import RectilinearGrid
+from repro.fields.vectorfield import VectorField2D
+
+_META_NAME = "meta.json"
+_FORMAT_VERSION = 1
+
+
+class ChunkedFieldStore:
+    """Append-only chunked store of vector-field frames on one grid.
+
+    Parameters
+    ----------
+    directory:
+        Store location (created if missing when *create* is used).
+    """
+
+    def __init__(self, directory: "str | os.PathLike"):
+        self.directory = os.fspath(directory)
+        meta_path = os.path.join(self.directory, _META_NAME)
+        if not os.path.exists(meta_path):
+            raise StoreError(
+                f"{self.directory} is not a field store (no {_META_NAME}); "
+                "use ChunkedFieldStore.create(...)"
+            )
+        with open(meta_path, "r", encoding="utf-8") as fh:
+            meta = json.load(fh)
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise StoreError(f"unsupported store format {meta.get('format_version')}")
+        self.frames_per_chunk = int(meta["frames_per_chunk"])
+        self.n_frames = int(meta["n_frames"])
+        self.times: List[float] = [float(t) for t in meta["times"]]
+        self.grid = RectilinearGrid(np.asarray(meta["x"]), np.asarray(meta["y"]))
+        self._pending: List[np.ndarray] = []
+        self._pending_times: List[float] = []
+        self._cache_index: Optional[int] = None
+        self._cache_data: Optional[np.ndarray] = None
+
+    # -- creation ----------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        directory: "str | os.PathLike",
+        grid: RectilinearGrid,
+        frames_per_chunk: int = 16,
+    ) -> "ChunkedFieldStore":
+        """Initialise an empty store for fields on *grid*."""
+        if frames_per_chunk < 1:
+            raise StoreError(f"frames_per_chunk must be >= 1, got {frames_per_chunk}")
+        directory = os.fspath(directory)
+        os.makedirs(directory, exist_ok=True)
+        meta_path = os.path.join(directory, _META_NAME)
+        if os.path.exists(meta_path):
+            raise StoreError(f"store already exists at {directory}")
+        meta = {
+            "format_version": _FORMAT_VERSION,
+            "frames_per_chunk": frames_per_chunk,
+            "n_frames": 0,
+            "times": [],
+            "x": [float(v) for v in grid.x],
+            "y": [float(v) for v in grid.y],
+        }
+        with open(meta_path, "w", encoding="utf-8") as fh:
+            json.dump(meta, fh)
+        return cls(directory)
+
+    # -- write path ----------------------------------------------------------------
+    def append(self, field: VectorField2D, time: float = 0.0) -> int:
+        """Append one frame; returns its frame index.  Call :meth:`flush` last."""
+        if field.grid.shape != self.grid.shape:
+            raise StoreError(
+                f"frame shape {field.grid.shape} != store grid shape {self.grid.shape}"
+            )
+        self._pending.append(np.asarray(field.data, dtype=np.float32))
+        self._pending_times.append(float(time))
+        index = self.n_frames
+        self.n_frames += 1
+        self.times.append(float(time))
+        if len(self._pending) == self.frames_per_chunk:
+            self._write_pending()
+        self._write_meta()
+        return index
+
+    def flush(self) -> None:
+        """Write any buffered partial chunk to disk."""
+        if self._pending:
+            self._write_pending()
+            self._write_meta()
+
+    def _chunk_path(self, chunk_index: int) -> str:
+        return os.path.join(self.directory, f"chunk_{chunk_index:06d}.npz")
+
+    def _write_pending(self) -> None:
+        first_frame = self.n_frames - len(self._pending)
+        chunk_index = first_frame // self.frames_per_chunk
+        if first_frame % self.frames_per_chunk != 0:
+            raise StoreError("internal error: pending frames not chunk-aligned")
+        np.savez_compressed(
+            self._chunk_path(chunk_index), frames=np.stack(self._pending, axis=0)
+        )
+        self._pending.clear()
+        self._pending_times.clear()
+        # Invalidate the cache in case this chunk was read while partial.
+        self._cache_index = None
+        self._cache_data = None
+
+    def _write_meta(self) -> None:
+        meta = {
+            "format_version": _FORMAT_VERSION,
+            "frames_per_chunk": self.frames_per_chunk,
+            "n_frames": self.n_frames,
+            "times": self.times,
+            "x": [float(v) for v in self.grid.x],
+            "y": [float(v) for v in self.grid.y],
+        }
+        tmp = os.path.join(self.directory, _META_NAME + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(meta, fh)
+        os.replace(tmp, os.path.join(self.directory, _META_NAME))
+
+    # -- read path -------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.n_frames
+
+    def _load_chunk(self, chunk_index: int) -> np.ndarray:
+        if self._cache_index == chunk_index and self._cache_data is not None:
+            return self._cache_data
+        path = self._chunk_path(chunk_index)
+        if not os.path.exists(path):
+            raise StoreError(f"missing chunk file {path} (unflushed frames?)")
+        with np.load(path) as archive:
+            data = archive["frames"]
+        self._cache_index = chunk_index
+        self._cache_data = data
+        return data
+
+    def read(self, frame: int) -> VectorField2D:
+        """Random access to any frame (loads and caches one chunk)."""
+        if not (0 <= frame < self.n_frames):
+            raise StoreError(f"frame {frame} out of range [0, {self.n_frames})")
+        chunk_index, offset = divmod(frame, self.frames_per_chunk)
+        # Frames still buffered in memory:
+        n_flushed = self.n_frames - len(self._pending)
+        if frame >= n_flushed:
+            data = self._pending[frame - n_flushed]
+            return VectorField2D(self.grid, np.asarray(data, dtype=np.float64))
+        chunk = self._load_chunk(chunk_index)
+        return VectorField2D(self.grid, np.asarray(chunk[offset], dtype=np.float64))
+
+    def iter_range(self, start: int = 0, stop: Optional[int] = None, stride: int = 1) -> Iterator[VectorField2D]:
+        """Sequential playback over ``[start, stop)`` with *stride*."""
+        if stride < 1:
+            raise StoreError(f"stride must be >= 1, got {stride}")
+        stop = self.n_frames if stop is None else min(stop, self.n_frames)
+        for t in range(start, stop, stride):
+            yield self.read(t)
+
+    def nbytes_on_disk(self) -> int:
+        """Total chunk bytes — the 'terabytes' metric, at laptop scale."""
+        total = 0
+        for name in os.listdir(self.directory):
+            if name.startswith("chunk_"):
+                total += os.path.getsize(os.path.join(self.directory, name))
+        return total

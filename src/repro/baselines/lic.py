@@ -1,0 +1,93 @@
+"""Line Integral Convolution (Cabral & Leedom, SIGGRAPH '93).
+
+LIC is the texture technique that ultimately displaced spot noise in
+practice, so it is the natural quality/performance comparator for this
+reproduction.  The implementation is the standard fixed-length form —
+white noise convolved along streamlines through every pixel — fully
+vectorised: all pixels integrate in lockstep, one RK2 step per iteration
+over the whole pixel lattice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.fields.vectorfield import VectorField2D
+from repro.utils.rng import as_rng
+
+
+def lic_texture(
+    field: VectorField2D,
+    texture_size: int = 512,
+    kernel_half_length: int = 15,
+    noise: "np.ndarray | None" = None,
+    seed: "int | None" = 0,
+) -> np.ndarray:
+    """Compute a LIC image of *field* on a ``texture_size``^2 raster.
+
+    Parameters
+    ----------
+    kernel_half_length:
+        Convolution half-length L in pixels; the box kernel spans
+        ``2L + 1`` samples along the streamline through each pixel.
+    noise:
+        Optional input noise texture (defaults to uniform white noise).
+
+    Returns the convolved texture, range [0, 1]-ish (mean ~ noise mean).
+    """
+    if texture_size < 8:
+        raise ReproError(f"texture_size must be >= 8, got {texture_size}")
+    if kernel_half_length < 1:
+        raise ReproError(f"kernel_half_length must be >= 1, got {kernel_half_length}")
+    rng = as_rng(seed)
+    if noise is None:
+        noise = rng.uniform(0.0, 1.0, size=(texture_size, texture_size))
+    noise = np.asarray(noise, dtype=np.float64)
+    if noise.shape != (texture_size, texture_size):
+        raise ReproError(f"noise must be ({texture_size}, {texture_size}), got {noise.shape}")
+
+    x0, x1, y0, y1 = field.grid.bounds
+    sx = (x1 - x0) / texture_size
+    sy = (y1 - y0) / texture_size
+    px = x0 + (np.arange(texture_size) + 0.5) * sx
+    py = y0 + (np.arange(texture_size) + 0.5) * sy
+    X, Y = np.meshgrid(px, py)
+    start = np.stack([X.ravel(), Y.ravel()], axis=-1)
+
+    vmax = field.max_magnitude()
+    if vmax <= 0:
+        return noise.copy()
+    step = 0.8 * min(sx, sy)  # arc length per sample, slightly sub-pixel
+
+    def sample_noise(points: np.ndarray) -> np.ndarray:
+        ix = np.clip(((points[:, 0] - x0) / sx).astype(np.int64), 0, texture_size - 1)
+        iy = np.clip(((points[:, 1] - y0) / sy).astype(np.int64), 0, texture_size - 1)
+        return noise[iy, ix]
+
+    def unit_velocity(points: np.ndarray) -> np.ndarray:
+        v = field.sample(points)
+        speed = np.hypot(v[:, 0], v[:, 1])
+        safe = np.where(speed > 1e-12, speed, 1.0)
+        v = v / safe[:, None]
+        v[speed <= 1e-12] = 0.0
+        return v
+
+    total = sample_noise(start)
+    count = np.ones_like(total)
+
+    for direction in (1.0, -1.0):
+        pos = start.copy()
+        for _ in range(kernel_half_length):
+            # RK2 on the normalised field: fixed arc-length steps.
+            k1 = unit_velocity(pos)
+            k2 = unit_velocity(pos + 0.5 * direction * step * k1)
+            pos = pos + direction * step * k2
+            inside = (
+                (pos[:, 0] >= x0) & (pos[:, 0] <= x1) & (pos[:, 1] >= y0) & (pos[:, 1] <= y1)
+            )
+            contrib = sample_noise(np.clip(pos, [x0, y0], [x1, y1]))
+            total += np.where(inside, contrib, 0.0)
+            count += inside
+
+    return (total / count).reshape(texture_size, texture_size)

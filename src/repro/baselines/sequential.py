@@ -1,0 +1,46 @@
+"""Sequential spot noise: the eq 2.1 performance baseline.
+
+Identical output to the divide-and-conquer runtime (one group, serial
+backend); exists so benches can report D&C speedups against an unambiguous
+single-processor, single-pipe reference, with the corresponding eq 2.1
+model prediction alongside.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.advection.particles import ParticleSet
+from repro.core.config import SpotNoiseConfig
+from repro.fields.vectorfield import VectorField2D
+from repro.machine.analytic import eq21_time
+from repro.machine.costs import CostModel
+from repro.core.synthesizer import workload_from_config
+from repro.parallel.runtime import DivideAndConquerRuntime, RuntimeReport
+
+
+def sequential_spot_noise(
+    field: VectorField2D,
+    config: SpotNoiseConfig,
+    particles: Optional[ParticleSet] = None,
+    costs: Optional[CostModel] = None,
+) -> "tuple[np.ndarray, RuntimeReport, float]":
+    """Render one texture sequentially.
+
+    Returns ``(texture, report, modelled_eq21_seconds)``: the actual
+    texture and runtime accounting, plus the time eq 2.1 predicts for the
+    same workload on the calibrated Onyx2 — the row the speedup tables
+    normalise against.
+    """
+    seq_config = config.with_overrides(n_groups=1, backend="serial", partition="round_robin")
+    if particles is None:
+        particles = ParticleSet.uniform_random(
+            seq_config.n_spots, field.grid.bounds, seed=seq_config.seed,
+            intensity=seq_config.intensity,
+        )
+    with DivideAndConquerRuntime(seq_config) as runtime:
+        texture, report = runtime.synthesize(field, particles)
+    modelled = eq21_time(workload_from_config(seq_config, field), costs)
+    return texture, report, modelled

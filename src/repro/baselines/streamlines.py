@@ -1,0 +1,46 @@
+"""Streamline plots: the discrete-curve baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.advection.streamline import streamline_bundle
+from repro.errors import ReproError
+from repro.fields.vectorfield import VectorField2D
+from repro.raster.framebuffer import FrameBuffer
+from repro.raster.splat import splat_points
+
+
+def streamline_plot(
+    field: VectorField2D,
+    texture_size: int = 512,
+    n_seeds: int = 64,
+    n_steps: int = 200,
+    value: float = 1.0,
+    seed: "int | None" = 0,
+) -> np.ndarray:
+    """Render streamlines from a jittered seed lattice.
+
+    Curves are integrated bidirectionally with RK4 and splatted with
+    sub-pixel sample spacing; intensity is per-sample-normalised so long
+    and short streamlines have equal visual weight per unit length.
+    """
+    if n_seeds < 1:
+        raise ReproError(f"n_seeds must be >= 1, got {n_seeds}")
+    if n_steps < 2:
+        raise ReproError(f"n_steps must be >= 2, got {n_steps}")
+    from repro.spots.distribution import jittered_grid_positions
+
+    fb = FrameBuffer(texture_size, texture_size, field.grid.bounds)
+    seeds = jittered_grid_positions(n_seeds, field.grid.bounds, seed=seed)
+    vmax = field.max_magnitude()
+    if vmax <= 0:
+        return fb.data
+    # Step ~half a pixel of arc per integration step.
+    px_world = min(*fb.pixel_size)
+    dt = 0.5 * px_world / vmax
+    curves = streamline_bundle(field.sample, seeds, n_steps, dt, integrator="rk4")
+    pts = curves.reshape(-1, 2)
+    weights = np.full(pts.shape[0], value / (n_steps + 1))
+    splat_points(fb, pts, weights)
+    return fb.data

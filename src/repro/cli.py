@@ -1,0 +1,135 @@
+"""Command-line interface.
+
+Three subcommands expose the reproduction's headline artefacts without
+writing any code:
+
+* ``tables`` — regenerate Tables 1 and 2 from the machine model;
+* ``predict`` — model textures/second for a chosen workstation shape and
+  workload, including the interactive frame-rate budget of section 2;
+* ``render`` — synthesise a spot noise texture of a built-in analytic
+  field and write it as a PGM image.
+
+Installed as ``repro-spotnoise`` (or run ``python -m repro.cli``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.machine.animation import simulate_animation
+from repro.machine.schedule import format_table, simulate_texture, sweep_configurations
+from repro.machine.workload import SpotWorkload
+from repro.machine.workstation import WorkstationConfig
+
+_WORKLOADS = {
+    "atmospheric": SpotWorkload.atmospheric,
+    "turbulence": SpotWorkload.turbulence,
+}
+
+_FIELDS = ("vortex", "shear", "saddle", "separation", "double_gyre", "random")
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    for label, factory in (
+        ("Table 1 — atmospheric pollution (textures/second)", SpotWorkload.atmospheric),
+        ("Table 2 — turbulent flow (textures/second)", SpotWorkload.turbulence),
+    ):
+        print(label)
+        print(format_table(sweep_configurations(factory())))
+        print()
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    workload = _WORKLOADS[args.workload]()
+    if args.spots:
+        workload = workload.with_spots(args.spots)
+    config = WorkstationConfig(args.processors, args.pipes)
+    result = simulate_texture(config, workload, tiled=args.tiled)
+    timing, _ = simulate_animation(config, workload, tiled=args.tiled)
+    print(config.describe())
+    print(f"workload: {workload.name}, {workload.n_spots} spots, "
+          f"{workload.total_vertices / 1e6:.2f}M vertices/texture")
+    print(f"texture generation: {result.textures_per_second:.2f} textures/s "
+          f"({result.makespan_s * 1e3:.1f} ms/texture)")
+    print(f"bus: {result.bytes_on_bus / 1e6:.1f} MB/texture, "
+          f"{result.bus_bandwidth_used_Bps / 1e6:.0f} MB/s average")
+    print(f"full frame loop: {timing.frames_per_second:.2f} frames/s "
+          f"({'meets' if timing.meets_budget() else 'MISSES'} the 5 Hz steering budget)")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    # Imports deferred: rendering pulls in the whole pipeline.
+    from repro.core.config import SpotNoiseConfig
+    from repro.core.synthesizer import SpotNoiseSynthesizer
+    from repro.fields import analytic
+    from repro.viz.image import write_pgm
+
+    factories = {
+        "vortex": lambda: analytic.vortex_field(n=65),
+        "shear": lambda: analytic.shear_field(rate=2.0, n=65),
+        "saddle": lambda: analytic.saddle_field(n=65),
+        "separation": lambda: analytic.separation_field(n=65),
+        "double_gyre": lambda: analytic.double_gyre_field(n=48),
+        "random": lambda: analytic.random_smooth_field(seed=args.seed, n=65),
+    }
+    field = factories[args.field]()
+    config = SpotNoiseConfig(
+        n_spots=args.spots or 6000,
+        texture_size=args.size,
+        spot_mode="standard",
+        anisotropy=args.anisotropy,
+        seed=args.seed,
+        post_filter=args.post_filter,
+    )
+    with SpotNoiseSynthesizer(config) as synth:
+        frame = synth.synthesize(field)
+    write_pgm(args.output, frame.display)
+    print(f"wrote {args.output} ({args.size}x{args.size}, "
+          f"{config.n_spots} spots, field '{args.field}')")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-spotnoise",
+        description="Divide and Conquer Spot Noise (SC'97) reproduction tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_tables = sub.add_parser("tables", help="regenerate the paper's Tables 1 and 2")
+    p_tables.set_defaults(fn=_cmd_tables)
+
+    p_pred = sub.add_parser("predict", help="model throughput for a machine shape")
+    p_pred.add_argument("--processors", "-p", type=int, default=8)
+    p_pred.add_argument("--pipes", "-g", type=int, default=4)
+    p_pred.add_argument("--workload", "-w", choices=sorted(_WORKLOADS), default="atmospheric")
+    p_pred.add_argument("--spots", type=int, default=0, help="override spot count")
+    p_pred.add_argument("--tiled", action="store_true", help="use texture tiling")
+    p_pred.set_defaults(fn=_cmd_predict)
+
+    p_render = sub.add_parser("render", help="synthesise a texture of a built-in field")
+    p_render.add_argument("--field", "-f", choices=_FIELDS, default="vortex")
+    p_render.add_argument("--size", "-s", type=int, default=256)
+    p_render.add_argument("--spots", "-n", type=int, default=0)
+    p_render.add_argument("--anisotropy", "-a", type=float, default=2.0)
+    p_render.add_argument("--seed", type=int, default=0)
+    p_render.add_argument(
+        "--post-filter", choices=("none", "highpass", "equalize"), default="none"
+    )
+    p_render.add_argument("--output", "-o", default="spotnoise.pgm")
+    p_render.set_defaults(fn=_cmd_render)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""The spot noise pipeline and public API.
+
+:class:`~repro.core.synthesizer.SpotNoiseSynthesizer` is the main entry
+point of the library: configure it with a :class:`~repro.core.config.SpotNoiseConfig`,
+hand it vector fields, receive textures.  :class:`~repro.core.pipeline.SpotNoisePipeline`
+exposes the four explicit stages of figure 3 for applications that steer
+the loop themselves, and :class:`~repro.core.animation.AnimationLoop`
+drives frame sequences.
+"""
+
+from repro.core.config import SpotNoiseConfig, BentConfig
+from repro.core.pipeline import SpotNoisePipeline, FrameResult
+from repro.core.synthesizer import SpotNoiseSynthesizer
+from repro.core.animation import AnimationLoop
+from repro.core.steering import SteeringSession, Parameter
+
+__all__ = [
+    "SpotNoiseConfig",
+    "BentConfig",
+    "SpotNoisePipeline",
+    "FrameResult",
+    "SpotNoiseSynthesizer",
+    "AnimationLoop",
+    "SteeringSession",
+    "Parameter",
+]

@@ -1,0 +1,162 @@
+"""High-level one-call API.
+
+:class:`SpotNoiseSynthesizer` wraps the pipeline for the common cases: a
+single texture from a field, an animated sequence, and performance
+prediction on arbitrary workstation shapes through the machine model —
+the programmatic equivalents of what the paper's figures and tables show.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.core.config import SpotNoiseConfig
+from repro.core.pipeline import FrameResult, SpotNoisePipeline
+from repro.advection.lifecycle import LifeCyclePolicy
+from repro.fields.vectorfield import VectorField2D
+from repro.machine.costs import CostModel
+from repro.machine.schedule import TimingResult, simulate_texture
+from repro.machine.workload import SpotWorkload
+from repro.machine.workstation import WorkstationConfig
+
+
+def workload_from_config(
+    config: SpotNoiseConfig, field: Optional[VectorField2D] = None
+) -> SpotWorkload:
+    """Translate a synthesis configuration into a machine-model workload.
+
+    Pixel coverage per spot is estimated from the spot geometry and grid
+    resolution (the same arithmetic the workload constructors use for the
+    paper's two applications).
+    """
+    if config.spot_mode == "bent":
+        b = config.bent
+        if field is not None:
+            nx = field.grid.shape[1]
+        else:
+            nx = 64
+        px_per_cell = config.texture_size / nx
+        pixels = max(1.0, (b.length_cells * px_per_cell) * (b.width_cells * px_per_cell))
+    else:
+        nx = field.grid.shape[1] if field is not None else 64
+        r_px = config.spot_radius_cells * config.texture_size / nx
+        pixels = max(1.0, np.pi * r_px * r_px)
+    grid_shape = field.grid.shape if field is not None else (0, 0)
+    return SpotWorkload(
+        name="custom",
+        n_spots=config.n_spots,
+        vertices_per_spot=config.vertices_per_spot(),
+        quads_per_spot=config.quads_per_spot(),
+        pixels_per_spot=float(pixels),
+        texture_size=config.texture_size,
+        grid_shape=grid_shape,
+    )
+
+
+class SpotNoiseSynthesizer:
+    """Facade over the pipeline.
+
+    >>> from repro.fields import vortex_field
+    >>> synth = SpotNoiseSynthesizer(SpotNoiseConfig(n_spots=500, texture_size=128))
+    >>> frame = synth.synthesize(vortex_field(n=32))
+    >>> frame.display.shape
+    (128, 128)
+    """
+
+    def __init__(self, config: Optional[SpotNoiseConfig] = None):
+        self.config = config or SpotNoiseConfig()
+        self._pipeline: Optional[SpotNoisePipeline] = None
+
+    def close(self) -> None:
+        if self._pipeline is not None:
+            self._pipeline.close()
+            self._pipeline = None
+
+    def __enter__(self) -> "SpotNoiseSynthesizer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_pipeline(
+        self, field: VectorField2D, policy: Optional[LifeCyclePolicy]
+    ) -> SpotNoisePipeline:
+        if self._pipeline is None or self._pipeline.field.grid.bounds != field.grid.bounds:
+            if self._pipeline is not None:
+                self._pipeline.close()
+            self._pipeline = SpotNoisePipeline(self.config, field, policy=policy)
+        return self._pipeline
+
+    # -- main entry points -------------------------------------------------------
+    def synthesize(
+        self, field: VectorField2D, policy: Optional[LifeCyclePolicy] = None
+    ) -> FrameResult:
+        """Generate one frame (advect once, then synthesise and render)."""
+        pipe = self._ensure_pipeline(field, policy)
+        pipe.read_data(field)
+        return pipe.step()
+
+    def animate(
+        self,
+        fields: "VectorField2D | Iterable[VectorField2D]",
+        n_frames: int,
+        policy: Optional[LifeCyclePolicy] = None,
+    ) -> Iterator[FrameResult]:
+        """Yield *n_frames* frames; *fields* may be static or a per-frame iterable."""
+        if n_frames < 0:
+            raise ValueError(f"n_frames must be >= 0, got {n_frames}")
+        if isinstance(fields, VectorField2D):
+            field_iter: Iterator[VectorField2D] = iter([fields] * n_frames)
+        else:
+            field_iter = iter(fields)
+        pipe: Optional[SpotNoisePipeline] = None
+        for _ in range(n_frames):
+            try:
+                field = next(field_iter)
+            except StopIteration:
+                return
+            if pipe is None:
+                pipe = self._ensure_pipeline(field, policy)
+            pipe.read_data(field)
+            yield pipe.step()
+
+    # -- performance prediction ----------------------------------------------------
+    def predict_timing(
+        self,
+        field: VectorField2D,
+        n_processors: int,
+        n_pipes: int,
+        costs: Optional[CostModel] = None,
+        **kwargs,
+    ) -> TimingResult:
+        """Predict textures/second on a given workstation shape.
+
+        This is the bridge between the real implementation and the
+        machine model: the workload is derived from this synthesizer's
+        configuration and played through the discrete-event simulator.
+        """
+        workload = workload_from_config(self.config, field)
+        return simulate_texture(
+            WorkstationConfig(n_processors, n_pipes), workload, costs=costs, **kwargs
+        )
+
+    def sweep_timing(
+        self,
+        field: VectorField2D,
+        processor_counts: "tuple[int, ...]" = (1, 2, 4, 8),
+        pipe_counts: "tuple[int, ...]" = (1, 2, 4),
+        costs: Optional[CostModel] = None,
+    ) -> "dict[tuple[int, int], TimingResult]":
+        """Reproduce a full table for this configuration's workload."""
+        workload = workload_from_config(self.config, field)
+        out: "dict[tuple[int, int], TimingResult]" = {}
+        for np_ in processor_counts:
+            for ng in pipe_counts:
+                if ng > np_:
+                    continue
+                out[(np_, ng)] = simulate_texture(
+                    WorkstationConfig(np_, ng), workload, costs=costs
+                )
+        return out

@@ -1,0 +1,80 @@
+"""Field persistence.
+
+A tiny, dependency-free ``.npz`` container for fields.  The DNS browser
+stores thousands of time slices through :mod:`repro.apps.dns.store`,
+which builds on these primitives.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.errors import FieldError
+from repro.fields.grid import RegularGrid, RectilinearGrid
+from repro.fields.vectorfield import VectorField2D
+from repro.fields.scalarfield import ScalarField2D
+
+_FORMAT_VERSION = 1
+
+
+def save_field(path: Union[str, os.PathLike], field: Union[VectorField2D, ScalarField2D]) -> None:
+    """Serialise a field (grid + data) to an ``.npz`` file."""
+    grid = field.grid
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "vector" if isinstance(field, VectorField2D) else "scalar",
+        "boundary": field.boundary,
+    }
+    if isinstance(grid, RegularGrid):
+        np.savez_compressed(
+            path,
+            data=field.data,
+            grid_type="regular",
+            nx=grid.nx,
+            ny=grid.ny,
+            bounds=np.asarray(grid.bounds),
+            **{k: np.asarray(v) for k, v in meta.items()},
+        )
+    elif isinstance(grid, RectilinearGrid):
+        np.savez_compressed(
+            path,
+            data=field.data,
+            grid_type="rectilinear",
+            x=grid.x,
+            y=grid.y,
+            **{k: np.asarray(v) for k, v in meta.items()},
+        )
+    else:  # pragma: no cover - defensive
+        raise FieldError(f"unsupported grid type {type(grid).__name__}")
+
+
+def load_field(path: Union[str, os.PathLike]) -> Union[VectorField2D, ScalarField2D]:
+    """Load a field saved by :func:`save_field`."""
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            version = int(archive["format_version"])
+            kind = str(archive["kind"])
+            boundary = str(archive["boundary"])
+            grid_type = str(archive["grid_type"])
+            data = archive["data"]
+            if grid_type == "regular":
+                bounds = tuple(float(b) for b in archive["bounds"])
+                grid: Union[RegularGrid, RectilinearGrid] = RegularGrid(
+                    int(archive["nx"]), int(archive["ny"]), bounds
+                )
+            elif grid_type == "rectilinear":
+                grid = RectilinearGrid(archive["x"], archive["y"])
+            else:
+                raise FieldError(f"unknown grid type {grid_type!r} in {path}")
+        except KeyError as exc:
+            raise FieldError(f"{path} is not a repro field file (missing {exc})") from exc
+    if version != _FORMAT_VERSION:
+        raise FieldError(f"unsupported field format version {version}")
+    if kind == "vector":
+        return VectorField2D(grid, data, boundary)  # type: ignore[arg-type]
+    if kind == "scalar":
+        return ScalarField2D(grid, data, boundary)  # type: ignore[arg-type]
+    raise FieldError(f"unknown field kind {kind!r} in {path}")

@@ -1,0 +1,81 @@
+"""2-D scalar fields (pollutant concentration, vorticity, pressure...)."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.errors import FieldError
+from repro.fields.grid import RegularGrid, RectilinearGrid, _as_points
+from repro.fields.sampling import bilinear_sample, BoundaryMode
+
+Grid = Union[RegularGrid, RectilinearGrid]
+
+
+class ScalarField2D:
+    """A sampled scalar field on a structured grid.
+
+    Figure 6 of the paper superimposes the pollutant O3 concentration (a
+    scalar field) on the wind-field texture; this class carries such data
+    through the overlay stage.
+    """
+
+    def __init__(self, grid: Grid, data: np.ndarray, boundary: BoundaryMode = "clamp"):
+        data = np.asarray(data, dtype=np.float64)
+        if data.shape != grid.shape:
+            raise FieldError(f"scalar data must have grid shape {grid.shape}, got {data.shape}")
+        if not np.all(np.isfinite(data)):
+            raise FieldError("scalar data contains non-finite values")
+        self.grid = grid
+        self.data = data
+        self.boundary: BoundaryMode = boundary
+
+    @classmethod
+    def from_function(
+        cls, grid: Grid, fn: Callable[[np.ndarray, np.ndarray], np.ndarray], boundary: BoundaryMode = "clamp"
+    ) -> "ScalarField2D":
+        X, Y = grid.mesh()
+        return cls(grid, np.broadcast_to(np.asarray(fn(X, Y), dtype=np.float64), X.shape).copy(), boundary)
+
+    @classmethod
+    def zeros(cls, grid: Grid) -> "ScalarField2D":
+        return cls(grid, np.zeros(grid.shape))
+
+    def sample(self, points: np.ndarray, boundary: Optional[BoundaryMode] = None) -> np.ndarray:
+        """Bilinear sample at world points ``(N, 2) -> (N,)``."""
+        pts = _as_points(points)
+        fx, fy = self.grid.world_to_fractional(pts)
+        return bilinear_sample(self.data, fx, fy, boundary or self.boundary)
+
+    def min(self) -> float:
+        return float(self.data.min())
+
+    def max(self) -> float:
+        return float(self.data.max())
+
+    def normalized(self, eps: float = 1e-12) -> "ScalarField2D":
+        """Affinely rescale values into [0, 1] (constant fields map to 0)."""
+        lo, hi = self.data.min(), self.data.max()
+        if hi - lo < eps:
+            return ScalarField2D(self.grid, np.zeros_like(self.data), self.boundary)
+        return ScalarField2D(self.grid, (self.data - lo) / (hi - lo), self.boundary)
+
+    def resampled_to(self, texture_shape: "tuple[int, int]") -> np.ndarray:
+        """Resample onto a pixel raster covering the grid bounds.
+
+        Returns a ``(height, width)`` array — the form consumed by the
+        overlay compositor when draping the scalar over the texture.
+        """
+        h, w = texture_shape
+        if h < 1 or w < 1:
+            raise FieldError(f"invalid raster shape {texture_shape}")
+        x0, x1, y0, y1 = self.grid.bounds
+        xs = np.linspace(x0, x1, w)
+        ys = np.linspace(y0, y1, h)
+        X, Y = np.meshgrid(xs, ys)
+        pts = np.stack([X.ravel(), Y.ravel()], axis=-1)
+        return self.sample(pts).reshape(h, w)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ScalarField2D(shape={self.grid.shape}, range=[{self.min():.3g}, {self.max():.3g}])"

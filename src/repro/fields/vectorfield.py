@@ -1,0 +1,127 @@
+"""2-D vector fields over structured grids."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.errors import FieldError
+from repro.fields.grid import RegularGrid, RectilinearGrid, _as_points
+from repro.fields.sampling import bilinear_sample, BoundaryMode
+
+Grid = Union[RegularGrid, RectilinearGrid]
+
+
+class VectorField2D:
+    """A sampled 2-D vector field ``(u, v)`` on a structured grid.
+
+    Parameters
+    ----------
+    grid:
+        :class:`RegularGrid` or :class:`RectilinearGrid`.
+    data:
+        ``(ny, nx, 2)`` array; ``data[..., 0]`` is the x-component ``u`` and
+        ``data[..., 1]`` the y-component ``v``.
+    boundary:
+        Default boundary mode used by :meth:`sample`.
+
+    The field object is the unit of exchange between simulation and
+    visualisation: the smog model and the DNS solver both emit one of these
+    per animation frame (pipeline step 1 of figure 3).
+    """
+
+    def __init__(self, grid: Grid, data: np.ndarray, boundary: BoundaryMode = "clamp"):
+        data = np.asarray(data, dtype=np.float64)
+        if data.shape != (*grid.shape, 2):
+            raise FieldError(
+                f"vector data must have shape {(*grid.shape, 2)} for this grid, got {data.shape}"
+            )
+        if not np.all(np.isfinite(data)):
+            raise FieldError("vector data contains non-finite values")
+        self.grid = grid
+        self.data = data
+        self.boundary: BoundaryMode = boundary
+
+    # -- construction helpers ----------------------------------------------
+    @classmethod
+    def from_function(
+        cls,
+        grid: Grid,
+        fn: Callable[[np.ndarray, np.ndarray], "tuple[np.ndarray, np.ndarray]"],
+        boundary: BoundaryMode = "clamp",
+    ) -> "VectorField2D":
+        """Sample an analytic function ``fn(X, Y) -> (U, V)`` onto *grid*."""
+        X, Y = grid.mesh()
+        u, v = fn(X, Y)
+        data = np.stack([np.broadcast_to(u, X.shape), np.broadcast_to(v, X.shape)], axis=-1)
+        return cls(grid, data.astype(np.float64), boundary)
+
+    @classmethod
+    def from_components(
+        cls, grid: Grid, u: np.ndarray, v: np.ndarray, boundary: BoundaryMode = "clamp"
+    ) -> "VectorField2D":
+        u = np.asarray(u, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        if u.shape != grid.shape or v.shape != grid.shape:
+            raise FieldError(
+                f"components must have grid shape {grid.shape}, got {u.shape} and {v.shape}"
+            )
+        return cls(grid, np.stack([u, v], axis=-1), boundary)
+
+    # -- components ----------------------------------------------------------
+    @property
+    def u(self) -> np.ndarray:
+        """x-component array, shape ``(ny, nx)`` (a view, not a copy)."""
+        return self.data[..., 0]
+
+    @property
+    def v(self) -> np.ndarray:
+        """y-component array, shape ``(ny, nx)`` (a view, not a copy)."""
+        return self.data[..., 1]
+
+    # -- sampling ------------------------------------------------------------
+    def sample(self, points: np.ndarray, boundary: Optional[BoundaryMode] = None) -> np.ndarray:
+        """Bilinearly sample the field at world *points* ``(N, 2) -> (N, 2)``."""
+        pts = _as_points(points)
+        fx, fy = self.grid.world_to_fractional(pts)
+        return bilinear_sample(self.data, fx, fy, boundary or self.boundary)
+
+    def magnitude_at(self, points: np.ndarray) -> np.ndarray:
+        """Speed ``|v|`` at world points, shape ``(N,)``."""
+        vec = self.sample(points)
+        return np.hypot(vec[:, 0], vec[:, 1])
+
+    def direction_at(self, points: np.ndarray) -> np.ndarray:
+        """Flow angle ``atan2(v, u)`` in radians at world points."""
+        vec = self.sample(points)
+        return np.arctan2(vec[:, 1], vec[:, 0])
+
+    # -- statistics ----------------------------------------------------------
+    def max_magnitude(self) -> float:
+        """Maximum node speed; used to scale advection steps and spot sizes."""
+        return float(np.hypot(self.u, self.v).max())
+
+    def mean_magnitude(self) -> float:
+        return float(np.hypot(self.u, self.v).mean())
+
+    # -- algebra -------------------------------------------------------------
+    def scaled(self, factor: float) -> "VectorField2D":
+        """A new field with all vectors multiplied by *factor*."""
+        return VectorField2D(self.grid, self.data * float(factor), self.boundary)
+
+    def plus(self, other: "VectorField2D") -> "VectorField2D":
+        """Node-wise sum of two fields on the identical grid."""
+        if other.grid.shape != self.grid.shape or other.grid.bounds != self.grid.bounds:
+            raise FieldError("cannot add fields on different grids")
+        return VectorField2D(self.grid, self.data + other.data, self.boundary)
+
+    def nbytes(self) -> int:
+        """Size of the raw field data in bytes (data-set read-rate budgeting)."""
+        return int(self.data.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VectorField2D(shape={self.grid.shape}, bounds={self.grid.bounds}, "
+            f"max|v|={self.max_magnitude():.3g})"
+        )

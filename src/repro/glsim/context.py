@@ -1,0 +1,77 @@
+"""Per-master OpenGL graphics contexts.
+
+"The task of a master is threefold: it sets up an unique OpenGL graphics
+context, it renders each calculated spot, and it distributes work among
+its slaves" (section 4).  A :class:`GLContext` is that unique context:
+it binds one master to one pipe, buffers commands, and flushes them to
+the pipe in order.  Only one context may be current on a pipe at a time
+— the invariant the runtime relies on to keep pipe state coherent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import GLStateError
+from repro.glsim.commands import Command
+from repro.glsim.pipe import GraphicsPipe
+
+
+class GLContext:
+    """A command buffer bound to a single graphics pipe."""
+
+    _current_on_pipe: "dict[int, GLContext]" = {}
+
+    def __init__(self, context_id: int, pipe: GraphicsPipe):
+        self.context_id = int(context_id)
+        self.pipe = pipe
+        self._buffer: List[Command] = []
+        self._made_current = False
+
+    def make_current(self) -> None:
+        """Acquire the pipe; raises if another live context holds it."""
+        holder = GLContext._current_on_pipe.get(self.pipe.pipe_id)
+        if holder is not None and holder is not self and holder._made_current:
+            raise GLStateError(
+                f"pipe {self.pipe.pipe_id} already has current context {holder.context_id}"
+            )
+        GLContext._current_on_pipe[self.pipe.pipe_id] = self
+        self._made_current = True
+
+    def release(self) -> None:
+        if GLContext._current_on_pipe.get(self.pipe.pipe_id) is self:
+            del GLContext._current_on_pipe[self.pipe.pipe_id]
+        self._made_current = False
+
+    @property
+    def is_current(self) -> bool:
+        return self._made_current and GLContext._current_on_pipe.get(self.pipe.pipe_id) is self
+
+    def submit(self, cmd: Command) -> None:
+        """Queue a command for the pipe."""
+        if not self._made_current:
+            raise GLStateError(f"context {self.context_id} is not current on any pipe")
+        self._buffer.append(cmd)
+
+    def flush(self) -> int:
+        """Execute all buffered commands on the pipe; returns count executed."""
+        if not self._made_current:
+            raise GLStateError(f"context {self.context_id} is not current on any pipe")
+        n = len(self._buffer)
+        for cmd in self._buffer:
+            self.pipe.execute(cmd)
+        self._buffer.clear()
+        return n
+
+    @property
+    def pending(self) -> int:
+        return len(self._buffer)
+
+    def __enter__(self) -> "GLContext":
+        self.make_current()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._buffer:
+            self.flush()
+        self.release()

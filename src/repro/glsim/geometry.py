@@ -1,0 +1,66 @@
+"""2-D affine transform stage of the simulated geometry processors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GLStateError
+
+
+class Transform2D:
+    """An affine map ``p -> A p + b`` applied to incoming vertex streams.
+
+    The paper's implementation performs spot transformation in software to
+    avoid setting a pipe matrix per spot; this class exists so the
+    alternative (hardware transform, one matrix set per spot) can be
+    simulated and ablated.
+    """
+
+    __slots__ = ("matrix", "offset")
+
+    def __init__(self, matrix: np.ndarray | None = None, offset: np.ndarray | None = None):
+        m = np.eye(2) if matrix is None else np.asarray(matrix, dtype=np.float64)
+        b = np.zeros(2) if offset is None else np.asarray(offset, dtype=np.float64)
+        if m.shape != (2, 2):
+            raise GLStateError(f"matrix must be 2x2, got {m.shape}")
+        if b.shape != (2,):
+            raise GLStateError(f"offset must be length 2, got {b.shape}")
+        self.matrix = m
+        self.offset = b
+
+    @classmethod
+    def identity(cls) -> "Transform2D":
+        return cls()
+
+    @classmethod
+    def scale_rotate(cls, sx: float, sy: float, angle: float, offset=(0.0, 0.0)) -> "Transform2D":
+        """Scale by (sx, sy) then rotate by *angle* radians, then translate."""
+        c, s = np.cos(angle), np.sin(angle)
+        rot = np.array([[c, -s], [s, c]])
+        scl = np.array([[sx, 0.0], [0.0, sy]])
+        return cls(rot @ scl, np.asarray(offset, dtype=np.float64))
+
+    def is_identity(self) -> bool:
+        return bool(np.array_equal(self.matrix, np.eye(2)) and not self.offset.any())
+
+    def apply(self, vertices: np.ndarray) -> np.ndarray:
+        """Transform a ``(..., 2)`` vertex array."""
+        v = np.asarray(vertices, dtype=np.float64)
+        if v.shape[-1] != 2:
+            raise GLStateError(f"vertices must end in dimension 2, got shape {v.shape}")
+        return v @ self.matrix.T + self.offset
+
+    def compose(self, other: "Transform2D") -> "Transform2D":
+        """self after other: ``(self . other)(p) = self(other(p))``."""
+        return Transform2D(self.matrix @ other.matrix, self.matrix @ other.offset + self.offset)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Transform2D):
+            return NotImplemented
+        return np.array_equal(self.matrix, other.matrix) and np.array_equal(self.offset, other.offset)
+
+    def __hash__(self) -> int:  # pragma: no cover - required with __eq__
+        return hash((self.matrix.tobytes(), self.offset.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Transform2D(matrix={self.matrix.tolist()}, offset={self.offset.tolist()})"

@@ -1,0 +1,77 @@
+"""Closed-form cost equations of the paper.
+
+Equation 2.1 (sequential, CPU work overlapping the graphics pipe)::
+
+    T = max( sum_i genP_i , sum_i genT_i )
+
+Equation 3.2 (divide and conquer)::
+
+    T = max( sum_i genP_i / nP , sum_i genT_i / nG ) + c
+
+These are idealisations — no dispatch cost, no bus, no coordination —
+used as analytic cross-checks: the discrete-event simulator must never
+beat them, and must approach them as overheads go to zero (property
+tested in ``tests/machine/test_analytic.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import MachineError
+from repro.machine.costs import CostModel
+from repro.machine.workload import SpotWorkload
+
+
+def total_genP(workload: SpotWorkload, costs: Optional[CostModel] = None) -> float:
+    """Total processor seconds to generate all spot positions and shapes."""
+    costs = costs or CostModel.onyx2()
+    return costs.shape_time(workload.n_spots, workload.total_vertices)
+
+
+def total_genT(workload: SpotWorkload, costs: Optional[CostModel] = None) -> float:
+    """Total pipe seconds to blend all spots into the texture."""
+    costs = costs or CostModel.onyx2()
+    return costs.pipe_time(workload.total_vertices, workload.total_pixels)
+
+
+def eq21_time(workload: SpotWorkload, costs: Optional[CostModel] = None) -> float:
+    """Sequential generation time of equation 2.1."""
+    return max(total_genP(workload, costs), total_genT(workload, costs))
+
+
+def eq32_time(
+    workload: SpotWorkload,
+    n_processors: int,
+    n_pipes: int,
+    costs: Optional[CostModel] = None,
+    blend_overhead: Optional[float] = None,
+) -> float:
+    """Divide-and-conquer time of equation 3.2.
+
+    *blend_overhead* is the paper's ``c``; by default it is the cost
+    model's sequential blend of ``n_pipes`` full partial textures.
+    """
+    if n_processors < 1 or n_pipes < 1:
+        raise MachineError("need at least one processor and one pipe")
+    costs = costs or CostModel.onyx2()
+    if blend_overhead is None:
+        blend_overhead = n_pipes * costs.blend_time(workload.texture_pixels)
+    return (
+        max(total_genP(workload, costs) / n_processors, total_genT(workload, costs) / n_pipes)
+        + blend_overhead
+    )
+
+
+def balanced_processors_per_pipe(
+    workload: SpotWorkload, costs: Optional[CostModel] = None
+) -> float:
+    """The resource-balance point of section 3.
+
+    ``T`` approaches its minimum only if ``nP`` and ``nG`` grow together;
+    the ratio that keeps processors and a pipe equally busy is
+    ``genP / genT`` — about 4 processors per pipe for the paper's
+    workloads ("a maximum of approximately 4 processors per graphics
+    pipe", section 5.1).
+    """
+    return total_genP(workload, costs) / total_genT(workload, costs)

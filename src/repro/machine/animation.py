@@ -1,0 +1,145 @@
+"""Animation-rate modelling: the full frame loop including data reads.
+
+Tables 1 and 2 time only steps 2 and 3 of the pipeline; an *interactive*
+application also pays step 1 — "this step may typically occur anywhere
+between 5 and 15 times a second" (section 2) — and step 4.  This module
+composes per-frame times from the texture-generation makespan plus the
+data-read transfer and a display cost, answering whether a configuration
+sustains the steering loop's frame-rate budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import MachineError
+from repro.machine.costs import CostModel
+from repro.machine.schedule import TimingResult, simulate_texture
+from repro.machine.workload import SpotWorkload
+from repro.machine.workstation import WorkstationConfig
+
+
+@dataclass(frozen=True)
+class AnimationTiming:
+    """Per-frame breakdown of the interactive loop."""
+
+    read_s: float
+    synthesis_s: float
+    display_s: float
+
+    @property
+    def frame_s(self) -> float:
+        return self.read_s + self.synthesis_s + self.display_s
+
+    @property
+    def frames_per_second(self) -> float:
+        return 1.0 / self.frame_s if self.frame_s > 0 else float("inf")
+
+    def meets_budget(self, min_hz: float = 5.0) -> bool:
+        """Does the loop sustain the §2 data-update budget?"""
+        return self.frames_per_second >= min_hz
+
+
+def data_bytes_for_grid(grid_shape: "tuple[int, int]") -> int:
+    """Bytes of one vector-field frame: (ny, nx) cells x 2 floats x 4 B.
+
+    Matches the wire-format convention of :mod:`repro.glsim.commands`.
+    """
+    ny, nx = grid_shape
+    if ny < 1 or nx < 1:
+        raise MachineError(f"invalid grid shape {(ny, nx)}")
+    return ny * nx * 2 * 4
+
+
+def simulate_animation(
+    config: WorkstationConfig,
+    workload: SpotWorkload,
+    costs: Optional[CostModel] = None,
+    data_bytes: Optional[int] = None,
+    display_s: float = 0.002,
+    **kwargs,
+) -> "tuple[AnimationTiming, TimingResult]":
+    """Model one steady-state animation frame.
+
+    Parameters
+    ----------
+    data_bytes:
+        Size of the per-frame data read; defaults to the workload's grid
+        (the simulation output crossing the bus into processor memory).
+    display_s:
+        Fixed cost of mapping the final texture onto the scene (step 4);
+        cheap because the texture is already resident on a pipe.
+
+    Returns the per-frame timing and the underlying texture-generation
+    result.
+    """
+    costs = costs or CostModel.onyx2()
+    if display_s < 0:
+        raise MachineError("display_s must be >= 0")
+    if data_bytes is None:
+        shape = workload.grid_shape if workload.grid_shape != (0, 0) else (64, 64)
+        data_bytes = data_bytes_for_grid(shape)
+    if data_bytes < 0:
+        raise MachineError("data_bytes must be >= 0")
+    synthesis = simulate_texture(config, workload, costs=costs, **kwargs)
+    timing = AnimationTiming(
+        read_s=costs.transfer_time(data_bytes),
+        synthesis_s=synthesis.makespan_s,
+        display_s=display_s,
+    )
+    return timing, synthesis
+
+
+def pipelined_rate(
+    config: WorkstationConfig,
+    workload: SpotWorkload,
+    costs: Optional[CostModel] = None,
+    tiled: bool = False,
+) -> "tuple[float, float]":
+    """Steady-state rate with frame pipelining — the conclusion's headroom.
+
+    The paper generates frames strictly one after another: every resource
+    waits while the partial textures are blended sequentially, so the
+    frame time is ``max(cpu, pipe) + c``.  Nothing stops the *next*
+    frame's particle advection and spot shaping from starting during the
+    current frame's blend (the blend needs one processor and the pipes'
+    output buffers, not the whole machine).  In steady state the period
+    is then the *largest single resource load*:
+
+        period = max(cpu_work / nP, pipe_work / nG, c)
+
+    and the sequential ``c`` term stops eating into throughput until it
+    itself becomes the bottleneck — "higher speeds than presented in the
+    paper are possible" (section 6), quantified.
+
+    Returns ``(frames_per_second, sequential_frames_per_second)`` so
+    callers can report the speedup.
+    """
+    costs = costs or CostModel.onyx2()
+    sequential = simulate_texture(config, workload, costs=costs, tiled=tiled)
+
+    n_pipes = config.n_pipes
+    dup = 1.0
+    if tiled and sequential.workload.n_spots:
+        dup = 1.0 + sequential.duplicated_spots / workload.n_spots
+    n_batches = -(-workload.n_spots * dup // 50)
+    cpu_work = (
+        costs.shape_time(int(workload.n_spots * dup), int(workload.total_vertices * dup))
+        + costs.feed_time(int(workload.total_vertices * dup))
+        + n_batches * costs.dispatch_s
+    )
+    pipe_work = costs.pipe_time(
+        int(workload.total_vertices * dup), workload.total_pixels * dup
+    )
+    partial_pixels = (
+        workload.texture_pixels // n_pipes if tiled else workload.texture_pixels
+    )
+    blend_total = n_pipes * costs.blend_time(partial_pixels)
+
+    period = max(
+        cpu_work / config.n_processors,
+        pipe_work / n_pipes,
+        blend_total,
+    )
+    return 1.0 / period, sequential.textures_per_second

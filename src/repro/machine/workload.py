@@ -1,0 +1,165 @@
+"""Workload descriptions for the performance model.
+
+A :class:`SpotWorkload` captures everything the cost model needs to know
+about one texture generation: how many spots, how heavy each spot is on
+the processors (vertices to generate), on the pipe (vertices to transform
+and pixels to fill) and on the bus (bytes per spot).  The two evaluation
+workloads of the paper are provided as constructors with the exact
+parameters quoted in sections 5.1 and 5.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineError
+from repro.glsim.commands import BYTES_PER_FLOAT, FLOATS_PER_VERTEX
+
+
+@dataclass(frozen=True)
+class SpotWorkload:
+    """One texture generation's worth of spot work.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports.
+    n_spots:
+        Spots per texture.
+    vertices_per_spot:
+        Mesh vertices each spot contributes (4 for standard spots; mesh
+        rows x columns for bent spots).
+    quads_per_spot:
+        Quadrilaterals each spot contributes.
+    pixels_per_spot:
+        Average pixels each spot covers on the final texture (scan
+        conversion cost driver).
+    texture_size:
+        Final texture resolution (square).
+    grid_shape:
+        (ny, nx) of the data grid, for documentation and data-read sizing.
+    """
+
+    name: str
+    n_spots: int
+    vertices_per_spot: int
+    quads_per_spot: int
+    pixels_per_spot: float
+    texture_size: int = 512
+    grid_shape: "tuple[int, int]" = (0, 0)
+
+    def __post_init__(self) -> None:
+        if self.n_spots <= 0:
+            raise MachineError(f"n_spots must be positive, got {self.n_spots}")
+        if self.vertices_per_spot < 4:
+            raise MachineError("a spot needs at least 4 vertices")
+        if self.quads_per_spot < 1:
+            raise MachineError("a spot needs at least 1 quad")
+        if self.pixels_per_spot <= 0:
+            raise MachineError("pixels_per_spot must be positive")
+        if self.texture_size < 1:
+            raise MachineError("texture_size must be positive")
+
+    # -- totals ---------------------------------------------------------------
+    @property
+    def total_vertices(self) -> int:
+        return self.n_spots * self.vertices_per_spot
+
+    @property
+    def total_quads(self) -> int:
+        return self.n_spots * self.quads_per_spot
+
+    @property
+    def total_pixels(self) -> float:
+        return self.n_spots * self.pixels_per_spot
+
+    @property
+    def texture_pixels(self) -> int:
+        return self.texture_size * self.texture_size
+
+    def bytes_per_spot(self) -> int:
+        """Bus bytes per spot: vertex stream (x, y, u, v floats) + intensity."""
+        return self.vertices_per_spot * FLOATS_PER_VERTEX * BYTES_PER_FLOAT + BYTES_PER_FLOAT
+
+    @property
+    def total_bytes(self) -> int:
+        """Raw geometric data per texture — 31 MB for the DNS workload (§5.2)."""
+        return self.n_spots * self.bytes_per_spot()
+
+    # -- the paper's workloads --------------------------------------------------
+    @classmethod
+    def atmospheric(cls) -> "SpotWorkload":
+        """Section 5.1: 53x55 wind grid, 2500 bent spots, 32x17 meshes.
+
+        ``pixels_per_spot``: a bent spot spans about 4 grid cells along the
+        flow and 1.2 across on a 53-wide grid mapped to 512 pixels, i.e.
+        roughly (4/53*512) x (1.2/53*512) ~ 450 pixels.
+        """
+        return cls(
+            name="atmospheric",
+            n_spots=2500,
+            vertices_per_spot=32 * 17,
+            quads_per_spot=31 * 16,
+            pixels_per_spot=450.0,
+            texture_size=512,
+            grid_shape=(55, 53),
+        )
+
+    @classmethod
+    def turbulence(cls) -> "SpotWorkload":
+        """Section 5.2: 278x208 DNS grid, 40 000 bent spots, 16x3 meshes.
+
+        Spots are much smaller (about 3 cells x 0.8 cell on a 278-wide
+        grid): roughly 11 pixels each.
+        """
+        return cls(
+            name="turbulence",
+            n_spots=40_000,
+            vertices_per_spot=16 * 3,
+            quads_per_spot=15 * 2,
+            pixels_per_spot=11.0,
+            texture_size=512,
+            grid_shape=(208, 278),
+        )
+
+    @classmethod
+    def standard_spots(cls, n_spots: int, pixels_per_spot: float = 120.0, texture_size: int = 512) -> "SpotWorkload":
+        """A classic (non-bent) spot noise workload: 4-vertex quads."""
+        return cls(
+            name="standard",
+            n_spots=n_spots,
+            vertices_per_spot=4,
+            quads_per_spot=1,
+            pixels_per_spot=pixels_per_spot,
+            texture_size=texture_size,
+        )
+
+    def with_mesh(self, n_along: int, n_across: int, pixels_per_spot: "float | None" = None) -> "SpotWorkload":
+        """Same workload with a different bent-spot mesh resolution.
+
+        Used by the mesh-resolution ablation ("lower resolution meshes ...
+        can increase performance substantially", §5.1).  Pixel coverage is
+        a property of the spot's world-space extent, not of its tessellation,
+        so it is kept unless overridden.
+        """
+        return SpotWorkload(
+            name=f"{self.name}-{n_along}x{n_across}",
+            n_spots=self.n_spots,
+            vertices_per_spot=n_along * n_across,
+            quads_per_spot=(n_along - 1) * (n_across - 1),
+            pixels_per_spot=self.pixels_per_spot if pixels_per_spot is None else pixels_per_spot,
+            texture_size=self.texture_size,
+            grid_shape=self.grid_shape,
+        )
+
+    def with_spots(self, n_spots: int) -> "SpotWorkload":
+        """Same workload with a different spot count (§5.2 ablation)."""
+        return SpotWorkload(
+            name=f"{self.name}-{n_spots}spots",
+            n_spots=n_spots,
+            vertices_per_spot=self.vertices_per_spot,
+            quads_per_spot=self.quads_per_spot,
+            pixels_per_spot=self.pixels_per_spot,
+            texture_size=self.texture_size,
+            grid_shape=self.grid_shape,
+        )

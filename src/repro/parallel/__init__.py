@@ -1,0 +1,47 @@
+"""The divide-and-conquer runtime (figure 5).
+
+This package implements the paper's parallel decomposition *for real*:
+spots are partitioned into disjoint sets, each set is processed by one
+process group driving one simulated graphics pipe, partial textures are
+gathered and blended into the final texture.  Execution backends range
+from serial (reference) to thread- and process-based; all backends
+produce bit-identical textures for the same seed, which is the core
+correctness property of the decomposition (spots are independent and
+blending is associative/commutative addition).
+"""
+
+from repro.parallel.partition import (
+    round_robin_partition,
+    block_partition,
+    spatial_partition,
+)
+from repro.parallel.tiling import TileLayout, Tile
+from repro.parallel.groups import ProcessGroup, GroupResult
+from repro.parallel.backends import (
+    ExecutionBackend,
+    SerialBackend,
+    ThreadBackend,
+    ProcessBackend,
+    get_backend,
+)
+from repro.parallel.compose import compose_add, compose_tiles
+from repro.parallel.runtime import DivideAndConquerRuntime, RuntimeReport
+
+__all__ = [
+    "round_robin_partition",
+    "block_partition",
+    "spatial_partition",
+    "TileLayout",
+    "Tile",
+    "ProcessGroup",
+    "GroupResult",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "get_backend",
+    "compose_add",
+    "compose_tiles",
+    "DivideAndConquerRuntime",
+    "RuntimeReport",
+]

@@ -1,0 +1,140 @@
+"""Process groups: the per-pipe unit of work.
+
+A :class:`GroupTask` bundles everything one process group needs to render
+its particle set into a partial texture; :func:`render_group` is the pure
+(picklable, side-effect-free) function executed by whichever backend —
+it builds the spot geometry for the group's spots, streams it through a
+private simulated :class:`~repro.glsim.pipe.GraphicsPipe`, and returns
+the partial texture plus the pipe's work counters.
+
+Geometry generation ("spot shape calculation") corresponds to the
+master+slaves CPU work; the pipe corresponds to the graphics hardware.
+Within a group the real backend uses one OS worker: the master/slave
+split inside a group is a *simulated-time* concern handled by
+:mod:`repro.machine.schedule`, while real parallelism happens across
+groups — the axis the paper's figure 5 draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import SpotNoiseConfig
+from repro.errors import PartitionError
+from repro.fields.vectorfield import VectorField2D
+from repro.glsim.commands import BindTexture, DrawQuads, SetBlendMode
+from repro.glsim.pipe import GraphicsPipe, PipeCounters
+from repro.raster.texture import Texture
+from repro.spots.bent import bent_spot_meshes, meshes_to_quads
+from repro.spots.functions import get_profile
+from repro.spots.transform import flow_transforms, spot_quads
+
+
+@dataclass
+class GroupTask:
+    """Everything one group needs (picklable for the process backend)."""
+
+    group_index: int
+    positions: np.ndarray      # (n, 2) spot centres of this group's set
+    intensities: np.ndarray    # (n,)
+    field: VectorField2D
+    config: SpotNoiseConfig
+    fb_size: Tuple[int, int]   # (width, height) of this group's buffer
+    fb_window: Tuple[float, float, float, float]
+    n_processors: int = 1
+
+    def __post_init__(self) -> None:
+        if self.positions.ndim != 2 or self.positions.shape[1] != 2:
+            raise PartitionError(f"positions must be (n, 2), got {self.positions.shape}")
+        if self.intensities.shape != (self.positions.shape[0],):
+            raise PartitionError("intensities must match positions")
+
+
+@dataclass
+class GroupResult:
+    """A group's partial texture and accounting."""
+
+    group_index: int
+    texture: np.ndarray
+    counters: PipeCounters
+    n_spots: int
+    n_vertices: int
+
+
+def build_spot_geometry(
+    positions: np.ndarray,
+    field: VectorField2D,
+    config: SpotNoiseConfig,
+    speed_hint: Optional[float] = None,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Spot shape calculation: world-space textured quads for the spots.
+
+    Returns ``(quads, uvs, quads_per_spot)``.  This is the work the paper
+    assigns to the processors — including the spot transform, performed in
+    software to avoid per-spot pipe state changes (section 4).
+    """
+    v_ref = speed_hint if speed_hint is not None else max(field.max_magnitude(), 1e-12)
+    cell = field.grid.min_spacing()
+    if config.spot_mode == "bent":
+        bent_cfg = config.bent.resolve(cell)
+        verts, uv_grid = bent_spot_meshes(field.sample, positions, bent_cfg, v_ref)
+        quads, uvs = meshes_to_quads(verts, uv_grid)
+        return quads, uvs, bent_cfg.quads_per_spot
+    velocities = field.sample(positions)
+    transforms = flow_transforms(
+        velocities, radius=config.spot_radius_cells * cell, scale=config.anisotropy, v_ref=v_ref
+    )
+    quads, uvs = spot_quads(positions, transforms)
+    return quads, uvs, 1
+
+
+def render_group(task: GroupTask) -> GroupResult:
+    """Execute one group's spot set on a private simulated pipe."""
+    cfg = task.config
+    pipe = GraphicsPipe(task.group_index, task.fb_size[0], task.fb_size[1], task.fb_window)
+    profile = get_profile(cfg.profile)
+    pipe.upload_texture(0, Texture(profile.make_texture(cfg.profile_resolution)))
+    pipe.state.set("render_mode", cfg.render_mode)
+    pipe.state.set("samples_per_edge", cfg.samples_per_edge)
+    pipe.execute(SetBlendMode("add"))
+    pipe.execute(BindTexture(0))
+
+    n = task.positions.shape[0]
+    if n > 0:
+        quads, uvs, qps = build_spot_geometry(task.positions, task.field, cfg)
+        weights = np.repeat(task.intensities, qps)
+        pipe.execute(DrawQuads(quads, uvs, weights))
+    return GroupResult(
+        group_index=task.group_index,
+        texture=pipe.framebuffer.data,
+        counters=pipe.counters,
+        n_spots=n,
+        n_vertices=n * cfg.vertices_per_spot(),
+    )
+
+
+class ProcessGroup:
+    """Static description of one process group (master + slaves).
+
+    Real execution routes through :func:`render_group`; this class carries
+    the structural facts (which pipe, how many processors) used by reports
+    and by the machine model.
+    """
+
+    def __init__(self, group_index: int, n_processors: int = 1):
+        if group_index < 0:
+            raise PartitionError(f"group_index must be >= 0, got {group_index}")
+        if n_processors < 1:
+            raise PartitionError(f"a group needs >= 1 processor, got {n_processors}")
+        self.group_index = group_index
+        self.n_processors = n_processors
+
+    @property
+    def n_slaves(self) -> int:
+        return self.n_processors - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessGroup(pipe={self.group_index}, master+{self.n_slaves} slaves)"

@@ -1,0 +1,38 @@
+"""Software scan conversion and blending.
+
+This package stands in for the rasterisation stage of the InfiniteReality
+pipes: textured quads go in, blended intensity rasters come out.  Two
+rendering strategies are provided:
+
+* :func:`rasterize_quads_exact` — per-quad scanline coverage with
+  barycentric texture interpolation; exact, used for standard spots and
+  as the reference in tests;
+* :func:`rasterize_quads_sampled` — a fully vectorised sample-and-splat
+  renderer that handles the paper's ~1.3-1.9 million bent-spot
+  quadrilaterals per texture at numpy speed.
+
+Both accumulate into a :class:`FrameBuffer` using the additive blend that
+defines spot noise (``f(x) = sum a_i h(x - x_i)``).
+"""
+
+from repro.raster.framebuffer import FrameBuffer
+from repro.raster.texture import Texture
+from repro.raster.rasterize import rasterize_quads_exact, rasterize_triangle
+from repro.raster.splat import rasterize_quads_sampled, splat_points
+from repro.raster.blend import blend_add, blend_over, blend_max, BLEND_MODES
+from repro.raster.clip import clip_quads_to_rect, quad_bboxes
+
+__all__ = [
+    "FrameBuffer",
+    "Texture",
+    "rasterize_quads_exact",
+    "rasterize_triangle",
+    "rasterize_quads_sampled",
+    "splat_points",
+    "blend_add",
+    "blend_over",
+    "blend_max",
+    "BLEND_MODES",
+    "clip_quads_to_rect",
+    "quad_bboxes",
+]

@@ -1,0 +1,133 @@
+"""Accumulation frame buffer.
+
+A :class:`FrameBuffer` is a 2-D float intensity raster with a world-space
+window.  Row 0 is the *bottom* row (mathematical orientation, matching
+the fields' y-up convention); the PGM/PPM writers flip for display.
+
+The divide-and-conquer runtime gives each graphics pipe its own frame
+buffer (possibly covering only a tile of the final texture) and composes
+them afterwards; :meth:`paste_from` / :meth:`add_from` implement that
+gather step.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import RasterError
+
+Rect = Tuple[int, int, int, int]  # (ix0, ix1, iy0, iy1), half-open pixel ranges
+
+
+class FrameBuffer:
+    """Float64 intensity raster over a world window.
+
+    Parameters
+    ----------
+    width, height:
+        Raster size in pixels (the paper's final texture is 512x512).
+    window:
+        ``(x0, x1, y0, y1)`` world rectangle covered by the raster.
+    """
+
+    def __init__(self, width: int, height: int, window: Tuple[float, float, float, float]):
+        if width < 1 or height < 1:
+            raise RasterError(f"frame buffer must be at least 1x1, got {width}x{height}")
+        x0, x1, y0, y1 = (float(v) for v in window)
+        if not (x1 > x0 and y1 > y0):
+            raise RasterError(f"degenerate window {window}")
+        self.width = int(width)
+        self.height = int(height)
+        self.window = (x0, x1, y0, y1)
+        self.data = np.zeros((height, width), dtype=np.float64)
+
+    # -- geometry ------------------------------------------------------------
+    @property
+    def pixel_size(self) -> Tuple[float, float]:
+        x0, x1, y0, y1 = self.window
+        return ((x1 - x0) / self.width, (y1 - y0) / self.height)
+
+    def world_to_pixel(self, points: np.ndarray) -> np.ndarray:
+        """Continuous pixel coordinates; pixel (i, j) has centre (i+0.5, j+0.5).
+
+        Returns ``(N, 2)`` with column 0 = x-pixel, column 1 = y-pixel.
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim == 1:
+            pts = pts[None, :]
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise RasterError(f"points must be (N, 2), got {pts.shape}")
+        x0, x1, y0, y1 = self.window
+        out = np.empty_like(pts)
+        out[:, 0] = (pts[:, 0] - x0) / (x1 - x0) * self.width
+        out[:, 1] = (pts[:, 1] - y0) / (y1 - y0) * self.height
+        return out
+
+    def pixel_to_world(self, px: np.ndarray, py: np.ndarray) -> np.ndarray:
+        x0, x1, y0, y1 = self.window
+        px = np.asarray(px, dtype=np.float64)
+        py = np.asarray(py, dtype=np.float64)
+        return np.stack(
+            [x0 + px / self.width * (x1 - x0), y0 + py / self.height * (y1 - y0)], axis=-1
+        )
+
+    def pixel_centers(self) -> "tuple[np.ndarray, np.ndarray]":
+        """World coordinates of all pixel centres, two (H, W) arrays."""
+        x0, x1, y0, y1 = self.window
+        xs = x0 + (np.arange(self.width) + 0.5) / self.width * (x1 - x0)
+        ys = y0 + (np.arange(self.height) + 0.5) / self.height * (y1 - y0)
+        return np.meshgrid(xs, ys)
+
+    # -- pixel-rect plumbing for tiling ---------------------------------------
+    def clip_rect(self, rect: Rect) -> Rect:
+        ix0, ix1, iy0, iy1 = rect
+        return (
+            max(0, min(self.width, ix0)),
+            max(0, min(self.width, ix1)),
+            max(0, min(self.height, iy0)),
+            max(0, min(self.height, iy1)),
+        )
+
+    def view(self, rect: Rect) -> np.ndarray:
+        """Writable view of a pixel rect (half-open ranges)."""
+        ix0, ix1, iy0, iy1 = self.clip_rect(rect)
+        return self.data[iy0:iy1, ix0:ix1]
+
+    def paste_from(self, other: "FrameBuffer", dest_rect: Rect, src_rect: Rect) -> None:
+        """Copy *src_rect* of *other* over *dest_rect* of self (same size)."""
+        dst = self.view(dest_rect)
+        ix0, ix1, iy0, iy1 = other.clip_rect(src_rect)
+        src = other.data[iy0:iy1, ix0:ix1]
+        if dst.shape != src.shape:
+            raise RasterError(f"paste shape mismatch: dest {dst.shape} vs src {src.shape}")
+        dst[...] = src
+
+    def add_from(self, other: "FrameBuffer", dest_rect: Rect, src_rect: Rect) -> None:
+        """Accumulate *src_rect* of *other* into *dest_rect* of self."""
+        dst = self.view(dest_rect)
+        ix0, ix1, iy0, iy1 = other.clip_rect(src_rect)
+        src = other.data[iy0:iy1, ix0:ix1]
+        if dst.shape != src.shape:
+            raise RasterError(f"blend shape mismatch: dest {dst.shape} vs src {src.shape}")
+        dst += src
+
+    # -- content -------------------------------------------------------------
+    def clear(self) -> None:
+        self.data[...] = 0.0
+
+    def total(self) -> float:
+        """Sum of all pixel intensities (conservation checks in tests)."""
+        return float(self.data.sum())
+
+    def copy(self) -> "FrameBuffer":
+        fb = FrameBuffer(self.width, self.height, self.window)
+        fb.data[...] = self.data
+        return fb
+
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FrameBuffer({self.width}x{self.height}, window={self.window})"

@@ -1,0 +1,65 @@
+"""Texture objects (the spot profile images resident on a graphics pipe)."""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.errors import RasterError
+
+FilterMode = Literal["nearest", "bilinear"]
+
+
+class Texture:
+    """A small 2-D texture sampled by normalised coordinates ``(u, v)``.
+
+    ``u`` and ``v`` are in ``[0, 1]``; samples outside are clamped to the
+    border texel (matching ``GL_CLAMP_TO_EDGE``, the mode a spot texture
+    needs so stretched quads do not wrap the profile).
+    """
+
+    def __init__(self, data: np.ndarray, filter: FilterMode = "bilinear"):
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] < 1 or data.shape[1] < 1:
+            raise RasterError(f"texture data must be 2-D and non-empty, got shape {data.shape}")
+        if filter not in ("nearest", "bilinear"):
+            raise RasterError(f"unknown filter mode {filter!r}")
+        self.data = data
+        self.filter: FilterMode = filter
+
+    @property
+    def shape(self) -> "tuple[int, int]":
+        return self.data.shape  # type: ignore[return-value]
+
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def sample(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Sample at normalised coordinates; arrays of any common shape."""
+        u = np.asarray(u, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        h, w = self.data.shape
+        if self.filter == "nearest":
+            ix = np.clip((u * w).astype(np.int64), 0, w - 1)
+            iy = np.clip((v * h).astype(np.int64), 0, h - 1)
+            return self.data[iy, ix]
+        # Bilinear with clamp-to-edge: texel centres at (i + 0.5) / w.
+        fx = np.clip(u * w - 0.5, 0.0, w - 1.0)
+        fy = np.clip(v * h - 0.5, 0.0, h - 1.0)
+        ix0 = np.floor(fx).astype(np.int64)
+        iy0 = np.floor(fy).astype(np.int64)
+        ix0 = np.clip(ix0, 0, w - 2) if w > 1 else np.zeros_like(ix0)
+        iy0 = np.clip(iy0, 0, h - 2) if h > 1 else np.zeros_like(iy0)
+        tx = fx - ix0
+        ty = fy - iy0
+        ix1 = np.minimum(ix0 + 1, w - 1)
+        iy1 = np.minimum(iy0 + 1, h - 1)
+        v00 = self.data[iy0, ix0]
+        v01 = self.data[iy0, ix1]
+        v10 = self.data[iy1, ix0]
+        v11 = self.data[iy1, ix1]
+        return (v00 * (1 - tx) + v01 * tx) * (1 - ty) + (v10 * (1 - tx) + v11 * tx) * ty
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Texture({self.shape[1]}x{self.shape[0]}, filter={self.filter!r})"

@@ -1,0 +1,107 @@
+"""Wall-clock timing helpers used by the pipeline and the benchmarks.
+
+The paper reports *textures per second* for steps 2 and 3 of the spot
+noise pipeline (particle advection + texture synthesis).  To reproduce
+those rows we need per-stage timing that can be switched off with zero
+overhead in inner loops, hence the tiny explicit classes here instead of
+a profiler.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+from contextlib import contextmanager
+
+
+class Stopwatch:
+    """Accumulating stopwatch.
+
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     pass
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self.laps: int = 0
+        self._t0: float | None = None
+
+    def start(self) -> None:
+        if self._t0 is not None:
+            raise RuntimeError("Stopwatch already running")
+        self._t0 = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._t0 is None:
+            raise RuntimeError("Stopwatch not running")
+        dt = time.perf_counter() - self._t0
+        self.elapsed += dt
+        self.laps += 1
+        self._t0 = None
+        return dt
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.laps = 0
+        self._t0 = None
+
+    @property
+    def mean(self) -> float:
+        """Mean lap time (0.0 when no laps were recorded)."""
+        return self.elapsed / self.laps if self.laps else 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@dataclass
+class StageTimer:
+    """Named per-stage timers for the four pipeline stages of figure 3.
+
+    ``StageTimer`` is deliberately permissive: timing an unknown stage name
+    creates it, so applications can add their own stages (e.g. ``"simulate"``
+    for the smog model) without registering them first.
+    """
+
+    stages: Dict[str, Stopwatch] = field(default_factory=dict)
+
+    @contextmanager
+    def time(self, stage: str) -> Iterator[Stopwatch]:
+        sw = self.stages.setdefault(stage, Stopwatch())
+        sw.start()
+        try:
+            yield sw
+        finally:
+            sw.stop()
+
+    def elapsed(self, stage: str) -> float:
+        """Total seconds accumulated for *stage* (0.0 if never timed)."""
+        sw = self.stages.get(stage)
+        return sw.elapsed if sw else 0.0
+
+    def report(self) -> Dict[str, float]:
+        """Mapping stage name -> accumulated seconds, insertion ordered."""
+        return {name: sw.elapsed for name, sw in self.stages.items()}
+
+    def reset(self) -> None:
+        for sw in self.stages.values():
+            sw.reset()
+
+    def textures_per_second(self, n_textures: int, stages: "tuple[str, ...]" = ("advect", "synthesize")) -> float:
+        """The paper's headline metric over the given stages.
+
+        Tables 1 and 2 count only pipeline steps 2 and 3 (advection and
+        texture synthesis), so that is the default.
+        """
+        total = sum(self.elapsed(s) for s in stages)
+        if total <= 0.0:
+            return float("inf")
+        return n_textures / total

@@ -1,0 +1,45 @@
+"""Small argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+
+def check_positive(name: str, value: float) -> float:
+    """Return *value* if strictly positive, else raise ``ValueError``."""
+    if not (value > 0):
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Return *value* if >= 0, else raise ``ValueError``."""
+    if not (value >= 0):
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> float:
+    """Return *value* if ``lo <= value <= hi``, else raise ``ValueError``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value
+
+
+def check_shape(name: str, array: np.ndarray, shape: Sequence[Any]) -> np.ndarray:
+    """Check ``array.shape`` against *shape*; ``None`` entries are wildcards."""
+    arr = np.asarray(array)
+    if len(arr.shape) != len(shape) or any(
+        expected is not None and actual != expected for actual, expected in zip(arr.shape, shape)
+    ):
+        raise ValueError(f"{name} must have shape {tuple(shape)}, got {arr.shape}")
+    return arr
+
+
+def check_power_of_two(name: str, value: int) -> int:
+    """Return *value* if it is a positive power of two (texture sizes)."""
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+    return value

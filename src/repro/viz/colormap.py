@@ -1,0 +1,82 @@
+"""Colormaps.
+
+Figure 6 uses "a rainbow colormap ... for assigning colors to the
+pollutant"; that map plus a grayscale and a diverging map are provided.
+A :class:`Colormap` is a piecewise-linear interpolation through control
+colours, vectorised over arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class Colormap:
+    """Piecewise-linear colormap over [0, 1].
+
+    Parameters
+    ----------
+    name:
+        Registry name.
+    controls:
+        ``(K, 3)`` RGB control points in [0, 1], evenly spaced over the
+        domain.
+    """
+
+    def __init__(self, name: str, controls: np.ndarray):
+        controls = np.asarray(controls, dtype=np.float64)
+        if controls.ndim != 2 or controls.shape[1] != 3 or controls.shape[0] < 2:
+            raise ReproError(f"controls must be (K>=2, 3), got {controls.shape}")
+        if controls.min() < 0.0 or controls.max() > 1.0:
+            raise ReproError("control colours must lie in [0, 1]")
+        self.name = name
+        self.controls = controls
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        """Map values in [0, 1] (clipped) to RGB; output shape ``(..., 3)``."""
+        v = np.clip(np.asarray(values, dtype=np.float64), 0.0, 1.0)
+        k = self.controls.shape[0]
+        x = v * (k - 1)
+        i0 = np.minimum(x.astype(np.int64), k - 2)
+        t = (x - i0)[..., None]
+        return self.controls[i0] * (1.0 - t) + self.controls[i0 + 1] * t
+
+
+def rainbow() -> Colormap:
+    """Blue -> cyan -> green -> yellow -> red, the classic rainbow of figure 6."""
+    return Colormap(
+        "rainbow",
+        np.array(
+            [
+                [0.0, 0.0, 1.0],
+                [0.0, 1.0, 1.0],
+                [0.0, 1.0, 0.0],
+                [1.0, 1.0, 0.0],
+                [1.0, 0.0, 0.0],
+            ]
+        ),
+    )
+
+
+def grayscale() -> Colormap:
+    return Colormap("grayscale", np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]]))
+
+
+def diverging() -> Colormap:
+    """Blue -> white -> red; for signed scalars such as vorticity."""
+    return Colormap(
+        "diverging",
+        np.array([[0.12, 0.23, 0.75], [1.0, 1.0, 1.0], [0.85, 0.14, 0.12]]),
+    )
+
+
+_REGISTRY = {"rainbow": rainbow, "grayscale": grayscale, "diverging": diverging}
+
+
+def get_colormap(name: str) -> Colormap:
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise ReproError(f"unknown colormap {name!r}; available: {sorted(_REGISTRY)}") from None

@@ -1,0 +1,72 @@
+"""Minimal netpbm image IO (no imaging dependencies).
+
+Textures and composed scenes are written as binary PGM (grayscale) and
+PPM (RGB).  Arrays follow the library's y-up convention; images are
+flipped to the y-down raster order of the file formats on write and
+flipped back on read, so a save/load round trip is the identity.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ReproError
+
+PathLike = Union[str, os.PathLike]
+
+
+def to_uint8(values01: np.ndarray) -> np.ndarray:
+    """Quantise [0, 1] floats to uint8 with clipping and rounding."""
+    v = np.asarray(values01, dtype=np.float64)
+    return np.clip(np.rint(v * 255.0), 0, 255).astype(np.uint8)
+
+
+def write_pgm(path: PathLike, texture01: np.ndarray) -> None:
+    """Write a [0, 1] grayscale array as binary PGM (P5)."""
+    t = np.asarray(texture01, dtype=np.float64)
+    if t.ndim != 2:
+        raise ReproError(f"PGM needs a 2-D array, got shape {t.shape}")
+    data = to_uint8(t)[::-1]  # y-up -> y-down
+    h, w = data.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{w} {h}\n255\n".encode("ascii"))
+        fh.write(data.tobytes())
+
+
+def write_ppm(path: PathLike, rgb01: np.ndarray) -> None:
+    """Write a [0, 1] (H, W, 3) RGB array as binary PPM (P6)."""
+    img = np.asarray(rgb01, dtype=np.float64)
+    if img.ndim != 3 or img.shape[2] != 3:
+        raise ReproError(f"PPM needs an (H, W, 3) array, got shape {img.shape}")
+    data = to_uint8(img)[::-1]
+    h, w = data.shape[:2]
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{w} {h}\n255\n".encode("ascii"))
+        fh.write(data.tobytes())
+
+
+def read_pgm(path: PathLike) -> np.ndarray:
+    """Read a binary PGM written by :func:`write_pgm`; returns [0, 1] floats."""
+    with open(path, "rb") as fh:
+        magic = fh.readline().strip()
+        if magic != b"P5":
+            raise ReproError(f"{path} is not a binary PGM (magic {magic!r})")
+        # Skip comment lines.
+        line = fh.readline()
+        while line.startswith(b"#"):
+            line = fh.readline()
+        try:
+            w, h = (int(x) for x in line.split())
+            maxval = int(fh.readline())
+        except ValueError as exc:
+            raise ReproError(f"malformed PGM header in {path}") from exc
+        if maxval != 255:
+            raise ReproError(f"only 8-bit PGM supported, got maxval {maxval}")
+        raw = fh.read(w * h)
+    if len(raw) != w * h:
+        raise ReproError(f"truncated PGM data in {path}")
+    data = np.frombuffer(raw, dtype=np.uint8).reshape(h, w)
+    return data[::-1].astype(np.float64) / 255.0

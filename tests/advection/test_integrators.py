@@ -1,0 +1,90 @@
+"""Tests for repro.advection.integrators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AdvectionError
+from repro.advection.integrators import (
+    EVALS_PER_STEP,
+    euler_step,
+    get_integrator,
+    rk2_step,
+    rk4_step,
+)
+
+
+def circular(points):
+    """Velocity of unit-rate rotation: (-y, x)."""
+    out = np.empty_like(points)
+    out[:, 0] = -points[:, 1]
+    out[:, 1] = points[:, 0]
+    return out
+
+
+class TestBasics:
+    def test_constant_velocity_is_exact_for_all(self):
+        vel = lambda p: np.full_like(p, 2.0)
+        start = np.array([[0.0, 0.0], [1.0, -1.0]])
+        for step in (euler_step, rk2_step, rk4_step):
+            out = step(vel, start, 0.5)
+            np.testing.assert_allclose(out, start + 1.0)
+
+    def test_zero_dt_identity(self):
+        start = np.array([[0.3, 0.4]])
+        for step in (euler_step, rk2_step, rk4_step):
+            np.testing.assert_allclose(step(circular, start, 0.0), start)
+
+    def test_bad_positions_shape(self):
+        with pytest.raises(AdvectionError):
+            euler_step(circular, np.zeros(2), 0.1)
+
+    def test_nonfinite_dt(self):
+        with pytest.raises(AdvectionError):
+            rk4_step(circular, np.zeros((1, 2)), float("nan"))
+
+    def test_get_integrator(self):
+        assert get_integrator("euler") is euler_step
+        assert get_integrator("rk2") is rk2_step
+        assert get_integrator("rk4") is rk4_step
+
+    def test_get_integrator_unknown(self):
+        with pytest.raises(AdvectionError):
+            get_integrator("rk5")
+
+    def test_evals_per_step_table(self):
+        assert EVALS_PER_STEP == {"euler": 1, "rk2": 2, "rk4": 4}
+
+
+class TestConvergenceOrder:
+    """Global error on one revolution of the circular field must shrink with
+    the integrator's order: halving dt divides the error by ~2^order."""
+
+    def _error_after_quarter_turn(self, step, n_steps):
+        dt = (np.pi / 2) / n_steps
+        pos = np.array([[1.0, 0.0]])
+        for _ in range(n_steps):
+            pos = step(circular, pos, dt)
+        exact = np.array([[0.0, 1.0]])
+        return float(np.linalg.norm(pos - exact))
+
+    @pytest.mark.parametrize(
+        "step,order", [(euler_step, 1), (rk2_step, 2), (rk4_step, 4)]
+    )
+    def test_order(self, step, order):
+        e1 = self._error_after_quarter_turn(step, 32)
+        e2 = self._error_after_quarter_turn(step, 64)
+        ratio = e1 / e2
+        assert ratio > 2 ** (order - 0.5), f"observed ratio {ratio:.2f} too small"
+
+    def test_rk4_beats_euler(self):
+        e_euler = self._error_after_quarter_turn(euler_step, 64)
+        e_rk4 = self._error_after_quarter_turn(rk4_step, 64)
+        assert e_rk4 < e_euler / 100.0
+
+    def test_radius_conservation_rk4(self):
+        pos = np.array([[1.0, 0.0]])
+        dt = 2 * np.pi / 256
+        for _ in range(256):
+            pos = rk4_step(circular, pos, dt)
+        radius = np.hypot(pos[0, 0], pos[0, 1])
+        assert radius == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,91 @@
+"""Tests for pathlines/streaklines/timelines (repro.advection.unsteady)."""
+
+import numpy as np
+import pytest
+
+from repro.advection.streamline import streamline_bundle
+from repro.advection.unsteady import pathline_bundle, steady, streakline, timeline
+from repro.errors import AdvectionError
+from repro.fields.analytic import constant_field, vortex_field
+
+
+def rotating_uniform(positions, t):
+    """A spatially uniform flow whose direction rotates in time."""
+    out = np.empty_like(positions)
+    out[:, 0] = np.cos(t)
+    out[:, 1] = np.sin(t)
+    return out
+
+
+class TestPathlines:
+    def test_steady_pathline_equals_streamline(self):
+        f = vortex_field(n=65)
+        seeds = np.array([[0.5, 0.0], [0.3, 0.2]])
+        paths = pathline_bundle(steady(f.sample), seeds, t0=0.0, dt=0.02, n_steps=20)
+        streams = streamline_bundle(
+            f.sample, seeds, n_steps=20, dt=0.02, integrator="rk4", bidirectional=False
+        )
+        np.testing.assert_allclose(paths, streams, atol=1e-12)
+
+    def test_unsteady_pathline_analytic(self):
+        # dx/dt = (cos t, sin t) -> x(T) = x0 + (sin T, 1 - cos T).
+        T = 1.3
+        n = 64
+        paths = pathline_bundle(rotating_uniform, np.zeros((1, 2)), 0.0, T / n, n)
+        np.testing.assert_allclose(
+            paths[0, -1], [np.sin(T), 1.0 - np.cos(T)], atol=1e-8
+        )
+
+    def test_shape(self):
+        paths = pathline_bundle(rotating_uniform, np.zeros((5, 2)), 0.0, 0.1, 7)
+        assert paths.shape == (5, 8, 2)
+
+    def test_validation(self):
+        with pytest.raises(AdvectionError):
+            pathline_bundle(rotating_uniform, np.zeros((1, 3)), 0.0, 0.1, 5)
+        with pytest.raises(AdvectionError):
+            pathline_bundle(rotating_uniform, np.zeros((1, 2)), 0.0, 0.0, 5)
+        with pytest.raises(AdvectionError):
+            pathline_bundle(rotating_uniform, np.zeros((1, 2)), 0.0, 0.1, 0)
+
+
+class TestStreaklines:
+    def test_steady_streakline_lies_on_streamline(self):
+        f = constant_field(1.0, 0.5, n=9)
+        streak = streakline(steady(f.sample), np.array([0.0, 0.0]), 0.0, 0.05, 10)
+        # In a steady uniform flow the streakline is the straight line
+        # through the source along the velocity.
+        assert streak.shape == (11, 2)
+        np.testing.assert_allclose(streak[:, 1], 0.5 * streak[:, 0], atol=1e-12)
+        # Newest particle at the source.
+        np.testing.assert_allclose(streak[-1], [0.0, 0.0], atol=1e-12)
+
+    def test_oldest_particle_travelled_furthest(self):
+        f = constant_field(2.0, 0.0, n=9)
+        streak = streakline(steady(f.sample), np.array([0.0, 0.0]), 0.0, 0.05, 10)
+        assert streak[0, 0] == pytest.approx(2.0 * 0.5)  # emitted at t0, advected 10 steps
+        assert (np.diff(streak[:, 0]) < 0).all()
+
+    def test_unsteady_streakline_differs_from_pathline(self):
+        src = np.array([0.0, 0.0])
+        streak = streakline(rotating_uniform, src, 0.0, 0.1, 30)
+        path = pathline_bundle(rotating_uniform, src[None, :], 0.0, 0.1, 30)[0]
+        # Same endpoints family but different curves in unsteady flow.
+        assert not np.allclose(streak[::-1], path, atol=1e-3)
+
+
+class TestTimeline:
+    def test_material_line_translates_in_uniform_flow(self):
+        f = constant_field(1.0, -1.0, n=9)
+        seeds = np.stack([np.linspace(0, 1, 5), np.zeros(5)], axis=-1)
+        moved = timeline(steady(f.sample), seeds, 0.0, 0.1, 4)
+        np.testing.assert_allclose(moved, seeds + np.array([0.4, -0.4]), atol=1e-12)
+
+    def test_shear_tilts_material_line(self):
+        from repro.fields.analytic import shear_field
+
+        f = shear_field(rate=1.0, n=17)
+        seeds = np.stack([np.zeros(5), np.linspace(-0.5, 0.5, 5)], axis=-1)
+        moved = timeline(steady(f.sample), seeds, 0.0, 0.1, 5)
+        # u = y: top moves right, bottom moves left.
+        assert moved[-1, 0] > 0 > moved[0, 0]

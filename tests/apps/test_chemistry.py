@@ -1,0 +1,107 @@
+"""Tests for the two-species photochemistry (repro.apps.smog.chemistry)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.smog.chemistry import ChemistryConfig, PhotochemicalSmogModel
+from repro.apps.smog.emissions import EmissionInventory, EmissionSource
+from repro.apps.smog.geography import europe_like_landmass
+from repro.apps.smog.meteo import SyntheticMeteorology
+from repro.apps.smog.model import SmogModelConfig
+from repro.errors import ApplicationError
+from repro.fields.grid import RegularGrid
+
+GRID = RegularGrid(20, 18, (0.0, 20.0, 0.0, 18.0))
+
+
+def make_model(**chem_kwargs):
+    mask = europe_like_landmass(GRID, seed=3)
+    inv = EmissionInventory([EmissionSource((6.0, 9.0), rate=1.0, radius=1.5)])
+    return PhotochemicalSmogModel(
+        GRID, inv, mask, chemistry=ChemistryConfig(**chem_kwargs) if chem_kwargs else None
+    )
+
+
+def calm_wind():
+    return SyntheticMeteorology(GRID, n_systems=0, base_wind=0.0, seed=0).wind_at(0.0)
+
+
+class TestChemistryConfig:
+    def test_validation(self):
+        with pytest.raises(ApplicationError):
+            ChemistryConfig(photo_rate=-1.0)
+        with pytest.raises(ApplicationError):
+            ChemistryConfig(ozone_yield=0.0)
+        with pytest.raises(ApplicationError):
+            ChemistryConfig(day_length=0.0)
+
+
+class TestPhotochemistry:
+    def test_ozone_requires_sunlight(self):
+        model = make_model(day_length=24.0)
+        wind = calm_wind()
+        # Start at night: t in [12, 24) has sun = 0.
+        model.time = 13.0
+        for _ in range(4):
+            model.step(wind, dt=0.5)
+        assert model.nox.max() > 0.0        # precursor accumulates
+        assert model.concentration.max() == 0.0  # no ozone in the dark
+
+    def test_ozone_forms_in_daylight(self):
+        model = make_model()
+        wind = calm_wind()
+        model.time = 1.0  # daytime
+        for _ in range(8):
+            model.step(wind, dt=0.5)
+        assert model.concentration.max() > 0.0
+
+    def test_odd_oxygen_conserved_by_chemistry(self):
+        # No deposition, no diffusion losses, calm wind: yield*NOx + O3
+        # changes only through emissions.
+        mask = europe_like_landmass(GRID, seed=3)
+        inv = EmissionInventory([EmissionSource((6.0, 9.0), rate=1.0, radius=1.5)])
+        model = PhotochemicalSmogModel(
+            GRID,
+            inv,
+            mask,
+            config=SmogModelConfig(
+                diffusivity=0.0, deposition_land=0.0, deposition_sea=0.0,
+                photo_rate=0.0, background=0.0,
+            ),
+            chemistry=ChemistryConfig(deposition_nox=0.0, ozone_yield=2.0),
+        )
+        wind = calm_wind()
+        model.time = 2.0
+        model.step(wind, dt=1.0)
+        m1 = model.odd_oxygen_mass()
+        model.step(wind, dt=1.0)
+        m2 = model.odd_oxygen_mass()
+        # Each unit time adds exactly yield * total emission rate of odd O.
+        assert m2 - m1 == pytest.approx(2.0 * inv.total_rate(), rel=1e-6)
+
+    def test_ozone_displaced_downwind_of_source(self):
+        mask = np.ones(GRID.shape, dtype=bool)
+        inv = EmissionInventory([EmissionSource((4.0, 9.0), rate=2.0, radius=1.0)])
+        model = PhotochemicalSmogModel(GRID, inv, mask)
+        wind = SyntheticMeteorology(GRID, n_systems=0, base_wind=2.0, seed=0).wind_at(0.0)
+        model.time = 2.0
+        for _ in range(10):
+            model.step(wind, dt=0.5)
+        X, _ = GRID.mesh()
+        o3_centroid = float((model.concentration * X).sum() / model.concentration.sum())
+        assert o3_centroid > 4.5  # blown east of the source
+
+    def test_both_species_nonnegative(self):
+        model = make_model()
+        met = SyntheticMeteorology(GRID, n_systems=2, base_wind=1.5, seed=5)
+        for i in range(8):
+            model.step(met.wind_at(i * 0.25), dt=0.25)
+        assert model.nox.min() >= 0.0
+        assert model.concentration.min() >= 0.0
+
+    def test_fields_accessor(self):
+        model = make_model()
+        model.step(calm_wind(), dt=0.5)
+        nox, o3 = model.fields()
+        assert nox.grid.shape == GRID.shape
+        assert o3.grid.shape == GRID.shape

@@ -1,0 +1,290 @@
+"""Tests for the DNS application (repro.apps.dns)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.dns.browser import DataBrowser, VisualizationMapping
+from repro.apps.dns.obstacle import block_mask, fringe_mask
+from repro.apps.dns.poisson import (
+    divergence,
+    solve_poisson_periodic,
+    solve_poisson_sor,
+    spectral_wavenumbers,
+)
+from repro.apps.dns.solver import DNSConfig, DNSSolver
+from repro.apps.dns.store import ChunkedFieldStore
+from repro.errors import ApplicationError, StoreError
+from repro.fields.grid import RectilinearGrid, RegularGrid
+
+
+class TestPoisson:
+    def _smooth_rhs(self, ny=32, nx=48):
+        x = np.linspace(0, 2 * np.pi, nx, endpoint=False)
+        y = np.linspace(0, 2 * np.pi, ny, endpoint=False)
+        X, Y = np.meshgrid(x, y)
+        return np.sin(2 * X) * np.cos(3 * Y), (2 * np.pi / nx, 2 * np.pi / ny)
+
+    def test_fft_solves_laplacian_exactly(self):
+        rhs, (dx, dy) = self._smooth_rhs()
+        # lap(p) = rhs with rhs = sin(2x)cos(3y) -> p = -rhs / (2^2 + 3^2).
+        p = solve_poisson_periodic(rhs, dx, dy)
+        np.testing.assert_allclose(p, -rhs / 13.0, atol=1e-10)
+
+    def test_fft_zero_mean_output(self):
+        rhs, (dx, dy) = self._smooth_rhs()
+        p = solve_poisson_periodic(rhs + 5.0, dx, dy)  # mean removed
+        assert abs(p.mean()) < 1e-12
+
+    def test_sor_agrees_with_fft_on_smooth_rhs(self):
+        rhs, (dx, dy) = self._smooth_rhs(24, 24)
+        p_fft = solve_poisson_periodic(rhs, dx, dy)
+        p_sor = solve_poisson_sor(rhs, dx, dy, tol=1e-10)
+        # Different discretisations (spectral vs 5-point): the 5-point
+        # eigenvalue error at k=3, dx=2*pi/24 is ~(k*dx)^2/12 ~ 5%, i.e.
+        # ~4e-3 on a solution of amplitude 1/13.
+        assert np.abs(p_fft - p_sor).max() < 6e-3
+
+    def test_divergence_of_gradient_field(self):
+        # div(grad p) must equal lap p: check via the Poisson solution.
+        rhs, (dx, dy) = self._smooth_rhs()
+        p = solve_poisson_periodic(rhs, dx, dy)
+        ky, kx = spectral_wavenumbers(*p.shape, dx, dy)
+        px = np.fft.irfft2(1j * kx * np.fft.rfft2(p), s=p.shape)
+        py = np.fft.irfft2(1j * ky * np.fft.rfft2(p), s=p.shape)
+        np.testing.assert_allclose(divergence(px, py, dx, dy), rhs, atol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ApplicationError):
+            solve_poisson_periodic(np.zeros(4), 0.1, 0.1)
+        with pytest.raises(ApplicationError):
+            solve_poisson_periodic(np.zeros((4, 4)), 0.0, 0.1)
+
+
+class TestObstacle:
+    GRID = RegularGrid(48, 32, (0.0, 4.0, 0.0, 3.0))
+
+    def test_block_mask_inside_outside(self):
+        chi = block_mask(self.GRID, (1.0, 1.5), 0.5, 0.5, smooth_cells=0.5)
+        # Deep inside ~1, far outside ~0.
+        X, Y = self.GRID.mesh()
+        inside = (np.abs(X - 1.0) < 0.15) & (np.abs(Y - 1.5) < 0.15)
+        outside = (np.abs(X - 1.0) > 0.6) | (np.abs(Y - 1.5) > 0.6)
+        assert chi[inside].min() > 0.9
+        assert chi[outside].max() < 0.1
+
+    def test_block_mask_range(self):
+        chi = block_mask(self.GRID, (2.0, 1.5), 0.4, 0.6)
+        assert chi.min() >= 0.0 and chi.max() <= 1.0
+
+    def test_fringe_only_at_domain_end(self):
+        sigma = fringe_mask(self.GRID, fraction=0.2, strength=5.0)
+        X, _ = self.GRID.mesh()
+        assert sigma[X < 3.0].max() == 0.0
+        assert sigma[X > 3.5].max() > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ApplicationError):
+            block_mask(self.GRID, (0, 0), -1.0, 1.0)
+        with pytest.raises(ApplicationError):
+            fringe_mask(self.GRID, fraction=0.6)
+
+
+class TestDNSSolver:
+    @pytest.fixture(scope="class")
+    def solver(self):
+        s = DNSSolver(DNSConfig(nx=64, ny=48, reynolds=100))
+        for _ in range(60):
+            s.step()
+        return s
+
+    def test_divergence_free(self, solver):
+        assert solver.max_divergence() < 1e-10
+
+    def test_energy_bounded(self, solver):
+        ke = solver.kinetic_energy()
+        assert 0.1 < ke < 2.0  # near the free-stream value, no blow-up
+
+    def test_velocity_suppressed_in_block(self, solver):
+        speed = np.hypot(solver.u, solver.v)
+        inside = solver.chi > 0.9
+        outside = solver.chi < 0.01
+        assert speed[inside].mean() < 0.15 * speed[outside].mean()
+
+    def test_wake_deficit_behind_block(self, solver):
+        # Mean streamwise velocity right behind the block is below free stream.
+        c = solver.config
+        X, Y = solver.grid.mesh()
+        wake = (
+            (X > c.block_center[0] + c.block_width)
+            & (X < c.block_center[0] + 3 * c.block_width)
+            & (np.abs(Y - c.block_center[1]) < c.block_height / 2)
+        )
+        assert solver.u[wake].mean() < 0.7 * c.u_inflow
+
+    def test_fringe_restores_freestream(self, solver):
+        X, _ = solver.grid.mesh()
+        end = X > 0.97 * solver.config.domain[0]
+        np.testing.assert_allclose(solver.u[end], solver.config.u_inflow, atol=0.15)
+        np.testing.assert_allclose(solver.v[end], 0.0, atol=0.1)
+
+    def test_field_export(self, solver):
+        f = solver.field()
+        assert f.grid.shape == (48, 64)
+        assert f.max_magnitude() > 0
+
+    def test_advance_to(self):
+        s = DNSSolver(DNSConfig(nx=32, ny=24))
+        steps = s.advance_to(0.05)
+        assert s.time >= 0.05
+        assert steps > 0
+
+    def test_forced_bad_dt(self):
+        s = DNSSolver(DNSConfig(nx=32, ny=24))
+        with pytest.raises(ApplicationError):
+            s.step(dt=-0.1)
+
+    def test_config_validation(self):
+        with pytest.raises(ApplicationError):
+            DNSConfig(nx=8)
+        with pytest.raises(ApplicationError):
+            DNSConfig(reynolds=0)
+        with pytest.raises(ApplicationError):
+            DNSConfig(cfl=1.5)
+
+    def test_viscosity_from_reynolds(self):
+        c = DNSConfig(reynolds=150.0, u_inflow=1.0, block_height=0.45)
+        assert c.viscosity == pytest.approx(0.45 / 150.0)
+
+
+class TestStore:
+    def _grid(self, nx=16, ny=12):
+        return RectilinearGrid(np.linspace(0, 4, nx), np.linspace(0, 3, ny))
+
+    def _field(self, grid, value):
+        from repro.fields.vectorfield import VectorField2D
+
+        data = np.full((*grid.shape, 2), float(value))
+        return VectorField2D(grid, data)
+
+    def test_append_read_roundtrip(self, tmp_path):
+        grid = self._grid()
+        store = ChunkedFieldStore.create(tmp_path / "db", grid, frames_per_chunk=3)
+        for i in range(7):
+            store.append(self._field(grid, i), time=0.1 * i)
+        store.flush()
+        for i in range(7):
+            f = store.read(i)
+            np.testing.assert_allclose(f.data, float(i))
+        assert len(store) == 7
+        assert store.times[3] == pytest.approx(0.3)
+
+    def test_unflushed_frames_readable(self, tmp_path):
+        grid = self._grid()
+        store = ChunkedFieldStore.create(tmp_path / "db", grid, frames_per_chunk=4)
+        store.append(self._field(grid, 42), time=0.0)
+        np.testing.assert_allclose(store.read(0).data, 42.0)
+
+    def test_reopen_existing(self, tmp_path):
+        grid = self._grid()
+        store = ChunkedFieldStore.create(tmp_path / "db", grid, frames_per_chunk=2)
+        for i in range(4):
+            store.append(self._field(grid, i))
+        store.flush()
+        reopened = ChunkedFieldStore(tmp_path / "db")
+        assert len(reopened) == 4
+        np.testing.assert_allclose(reopened.read(2).data, 2.0)
+
+    def test_iter_range_stride(self, tmp_path):
+        grid = self._grid()
+        store = ChunkedFieldStore.create(tmp_path / "db", grid, frames_per_chunk=2)
+        for i in range(6):
+            store.append(self._field(grid, i))
+        store.flush()
+        vals = [f.data[0, 0, 0] for f in store.iter_range(1, 6, 2)]
+        assert vals == [1.0, 3.0, 5.0]
+
+    def test_out_of_range_read(self, tmp_path):
+        grid = self._grid()
+        store = ChunkedFieldStore.create(tmp_path / "db", grid)
+        with pytest.raises(StoreError):
+            store.read(0)
+
+    def test_wrong_shape_append(self, tmp_path):
+        grid = self._grid()
+        store = ChunkedFieldStore.create(tmp_path / "db", grid)
+        other = self._grid(nx=8, ny=8)
+        with pytest.raises(StoreError):
+            store.append(self._field(other, 0))
+
+    def test_create_twice_rejected(self, tmp_path):
+        grid = self._grid()
+        ChunkedFieldStore.create(tmp_path / "db", grid)
+        with pytest.raises(StoreError):
+            ChunkedFieldStore.create(tmp_path / "db", grid)
+
+    def test_open_nonexistent(self, tmp_path):
+        with pytest.raises(StoreError):
+            ChunkedFieldStore(tmp_path / "missing")
+
+    def test_bytes_on_disk_grows(self, tmp_path):
+        grid = self._grid()
+        store = ChunkedFieldStore.create(tmp_path / "db", grid, frames_per_chunk=1)
+        rng = np.random.default_rng(0)
+        from repro.fields.vectorfield import VectorField2D
+
+        store.append(VectorField2D(grid, rng.normal(size=(*grid.shape, 2))))
+        store.flush()
+        assert store.nbytes_on_disk() > 0
+
+
+class TestBrowser:
+    @pytest.fixture
+    def store(self, tmp_path):
+        grid = RectilinearGrid(np.linspace(0, 4, 16), np.linspace(0, 3, 12))
+        from repro.fields.vectorfield import VectorField2D
+
+        st = ChunkedFieldStore.create(tmp_path / "db", grid, frames_per_chunk=3)
+        rng = np.random.default_rng(0)
+        for i in range(8):
+            st.append(VectorField2D(grid, rng.normal(size=(*grid.shape, 2))))
+        st.flush()
+        return st
+
+    def test_mapping_validation(self):
+        with pytest.raises(ApplicationError):
+            VisualizationMapping(scalar="pressure_gradient_magnitude")
+
+    def test_current_with_scalar(self, store):
+        browser = DataBrowser(store, VisualizationMapping(scalar="vorticity"))
+        field, scalar = browser.current()
+        assert scalar is not None
+        assert scalar.grid.shape == field.grid.shape
+
+    def test_mapping_none_scalar(self, store):
+        browser = DataBrowser(store, VisualizationMapping(scalar=None))
+        _, scalar = browser.current()
+        assert scalar is None
+
+    def test_seek_and_play(self, store):
+        browser = DataBrowser(store)
+        browser.seek(2)
+        frames = list(browser.play(stop=6, stride=2))
+        assert len(frames) == 2
+        assert browser.position == 4
+
+    def test_seek_out_of_range(self, store):
+        browser = DataBrowser(store)
+        with pytest.raises(ApplicationError):
+            browser.seek(99)
+
+    def test_select_mapping_switches(self, store):
+        browser = DataBrowser(store, VisualizationMapping(scalar=None))
+        browser.select_mapping(VisualizationMapping(scalar="speed"))
+        _, scalar = browser.current()
+        assert scalar is not None
+        assert scalar.data.min() >= 0.0
+
+    def test_frame_source_wraps(self, store):
+        browser = DataBrowser(store)
+        item = browser.frame_source(len(store) + 1)  # wraps around
+        assert item is not None

@@ -1,0 +1,47 @@
+"""Tests for the Rankine pressure-system profile (repro.apps.smog.meteo)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.smog.meteo import PressureSystem
+
+
+class TestPressureSystem:
+    @pytest.fixture
+    def system(self):
+        return PressureSystem(center=(0.0, 0.0), strength=2.0, core_radius=1.0, drift=(0.5, 0.0))
+
+    def _speed_at_radius(self, system, r, t=0.0):
+        u, v = system.velocity(np.array([[r]]), np.array([[0.0]]), t)
+        return float(np.hypot(u, v)[0, 0])
+
+    def test_solid_body_core(self, system):
+        # Inside the core, tangential speed grows linearly with radius.
+        assert self._speed_at_radius(system, 0.25) == pytest.approx(0.5)
+        assert self._speed_at_radius(system, 0.5) == pytest.approx(1.0)
+
+    def test_peak_at_core_radius(self, system):
+        assert self._speed_at_radius(system, 1.0) == pytest.approx(2.0)
+
+    def test_decay_outside(self, system):
+        # 1/r decay outside the core.
+        assert self._speed_at_radius(system, 4.0) == pytest.approx(0.5)
+
+    def test_velocity_tangential(self, system):
+        X = np.array([[0.7, -0.3]])
+        Y = np.array([[0.2, 0.6]])
+        u, v = system.velocity(X, Y, 0.0)
+        radial = u * X + v * Y  # dot product with the radius vector
+        np.testing.assert_allclose(radial, 0.0, atol=1e-12)
+
+    def test_drift_moves_center(self, system):
+        # At t=2 the centre sits at (1, 0): zero velocity there.
+        u, v = system.velocity(np.array([[1.0]]), np.array([[0.0]]), 2.0)
+        assert np.hypot(u, v)[0, 0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_anticyclone_spins_backwards(self):
+        cyclone = PressureSystem((0, 0), strength=1.0, core_radius=1.0, drift=(0, 0))
+        anti = PressureSystem((0, 0), strength=-1.0, core_radius=1.0, drift=(0, 0))
+        uc, vc = cyclone.velocity(np.array([[0.5]]), np.array([[0.0]]), 0.0)
+        ua, va = anti.velocity(np.array([[0.5]]), np.array([[0.0]]), 0.0)
+        assert vc[0, 0] == pytest.approx(-va[0, 0])

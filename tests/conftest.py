@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.advection.particles import ParticleSet
+from repro.fields.analytic import constant_field, vortex_field, shear_field
+from repro.fields.grid import RegularGrid
+from repro.fields.vectorfield import VectorField2D
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def unit_grid() -> RegularGrid:
+    return RegularGrid(17, 13, (0.0, 1.0, 0.0, 1.0))
+
+
+@pytest.fixture
+def vortex() -> VectorField2D:
+    return vortex_field(n=33)
+
+
+@pytest.fixture
+def uniform_flow() -> VectorField2D:
+    return constant_field(1.0, 0.5, n=17)
+
+
+@pytest.fixture
+def shear() -> VectorField2D:
+    return shear_field(rate=2.0, n=17)
+
+
+@pytest.fixture
+def particles(vortex) -> ParticleSet:
+    return ParticleSet.uniform_random(200, vortex.grid.bounds, seed=7)

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestTables:
+    def test_prints_both_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out
+        assert "nP\\nG" in out
+
+
+class TestPredict:
+    def test_default_full_machine(self, capsys):
+        assert main(["predict"]) == 0
+        out = capsys.readouterr().out
+        assert "8 processors, 4 graphics pipes" in out
+        assert "textures/s" in out
+        assert "meets the 5 Hz steering budget" in out
+
+    def test_single_cpu_misses_budget(self, capsys):
+        assert main(["predict", "-p", "1", "-g", "1", "-w", "turbulence"]) == 0
+        out = capsys.readouterr().out
+        assert "MISSES" in out
+
+    def test_spot_override(self, capsys):
+        assert main(["predict", "--spots", "1000", "-w", "turbulence"]) == 0
+        out = capsys.readouterr().out
+        assert "1000 spots" in out
+
+    def test_tiled_flag_accepted(self, capsys):
+        assert main(["predict", "--tiled"]) == 0
+
+    def test_infeasible_machine_raises(self):
+        from repro.errors import MachineError
+
+        with pytest.raises(MachineError):
+            main(["predict", "-p", "1", "-g", "4"])
+
+
+class TestRender:
+    def test_writes_pgm(self, tmp_path, capsys):
+        out_path = str(tmp_path / "tex.pgm")
+        code = main([
+            "render", "--field", "shear", "--size", "64", "--spots", "500",
+            "--output", out_path,
+        ])
+        assert code == 0
+        assert os.path.exists(out_path)
+        from repro.viz.image import read_pgm
+
+        img = read_pgm(out_path)
+        assert img.shape == (64, 64)
+
+    def test_post_filter_option(self, tmp_path):
+        out_path = str(tmp_path / "hp.pgm")
+        assert main([
+            "render", "--size", "64", "--spots", "300",
+            "--post-filter", "highpass", "--output", out_path,
+        ]) == 0
+        assert os.path.exists(out_path)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["render", "--field", "tornado"])
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

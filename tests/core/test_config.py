@@ -1,0 +1,74 @@
+"""Tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import BentConfig, SpotNoiseConfig
+from repro.errors import PipelineError
+
+
+class TestBentConfig:
+    def test_resolve_scales_by_cell(self):
+        b = BentConfig(length_cells=4.0, width_cells=1.2)
+        cfg = b.resolve(cell_size=0.5)
+        assert cfg.length == pytest.approx(2.0)
+        assert cfg.width == pytest.approx(0.6)
+
+    def test_resolve_bad_cell(self):
+        with pytest.raises(PipelineError):
+            BentConfig().resolve(0.0)
+
+
+class TestSpotNoiseConfig:
+    def test_defaults_valid(self):
+        SpotNoiseConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_spots=0),
+            dict(texture_size=4),
+            dict(spot_mode="square"),
+            dict(spot_radius_cells=0.0),
+            dict(anisotropy=-1.0),
+            dict(render_mode="fast"),
+            dict(samples_per_edge=0),
+            dict(n_groups=0),
+            dict(processors_per_group=0),
+            dict(partition="random"),
+            dict(guard_px=-1),
+            dict(intensity=0.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(PipelineError):
+            SpotNoiseConfig(**kwargs)
+
+    def test_atmospheric_factory(self):
+        c = SpotNoiseConfig.atmospheric()
+        assert c.n_spots == 2500
+        assert c.spot_mode == "bent"
+        assert c.bent.n_along == 32 and c.bent.n_across == 17
+        assert c.vertices_per_spot() == 544
+        assert c.quads_per_spot() == 496
+
+    def test_turbulence_factory(self):
+        c = SpotNoiseConfig.turbulence()
+        assert c.n_spots == 40_000
+        assert c.vertices_per_spot() == 48
+
+    def test_factory_overrides(self):
+        c = SpotNoiseConfig.atmospheric(n_spots=100, n_groups=4)
+        assert c.n_spots == 100 and c.n_groups == 4
+        assert c.bent.n_along == 32
+
+    def test_standard_vertices(self):
+        assert SpotNoiseConfig(spot_mode="standard").vertices_per_spot() == 4
+
+    def test_with_overrides_returns_new(self):
+        a = SpotNoiseConfig()
+        b = a.with_overrides(n_spots=5)
+        assert a.n_spots != b.n_spots
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SpotNoiseConfig().n_spots = 7

@@ -1,0 +1,98 @@
+"""Tests for repro.fields.io and repro.fields.slices."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FieldError
+from repro.fields.analytic import vortex_field
+from repro.fields.grid import RectilinearGrid, RegularGrid
+from repro.fields.io import load_field, save_field
+from repro.fields.scalarfield import ScalarField2D
+from repro.fields.slices import Dataset3D, SliceSpec
+from repro.fields.vectorfield import VectorField2D
+
+
+class TestFieldIO:
+    def test_vector_roundtrip_regular(self, tmp_path):
+        f = vortex_field(n=16)
+        path = tmp_path / "field.npz"
+        save_field(path, f)
+        g = load_field(path)
+        assert isinstance(g, VectorField2D)
+        np.testing.assert_array_equal(g.data, f.data)
+        assert g.grid.bounds == f.grid.bounds
+        assert g.boundary == f.boundary
+
+    def test_scalar_roundtrip(self, tmp_path):
+        grid = RegularGrid(8, 6)
+        s = ScalarField2D.from_function(grid, lambda X, Y: X * Y)
+        path = tmp_path / "scalar.npz"
+        save_field(path, s)
+        t = load_field(path)
+        assert isinstance(t, ScalarField2D)
+        np.testing.assert_array_equal(t.data, s.data)
+
+    def test_rectilinear_roundtrip(self, tmp_path):
+        g = RectilinearGrid(np.array([0.0, 1.0, 3.0]), np.array([0.0, 2.0, 5.0, 9.0]))
+        f = VectorField2D.from_function(g, lambda X, Y: (X, Y))
+        path = tmp_path / "rect.npz"
+        save_field(path, f)
+        h = load_field(path)
+        np.testing.assert_array_equal(h.grid.x_coords(), g.x)
+        np.testing.assert_array_equal(h.data, f.data)
+
+    def test_not_a_field_file(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, whatever=np.zeros(3))
+        with pytest.raises(FieldError):
+            load_field(path)
+
+
+class TestDataset3D:
+    @pytest.fixture
+    def volume(self):
+        return Dataset3D.from_function(
+            lambda X, Y, Z: (X, Y, Z),
+            shape=(4, 5, 6),
+            bounds=(0.0, 6.0, 0.0, 5.0, 0.0, 4.0),
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(FieldError):
+            Dataset3D(np.zeros((4, 5, 6, 2)))
+
+    def test_needs_two_nodes_per_axis(self):
+        with pytest.raises(FieldError):
+            Dataset3D(np.zeros((1, 5, 6, 3)))
+
+    def test_z_slice_in_plane_components(self, volume):
+        f = volume.slice(SliceSpec("z", 2))
+        assert f.grid.shape == (5, 6)
+        # In-plane components of (u,v,w)=(X,Y,Z) are (X,Y).
+        assert f.u[0, -1] == pytest.approx(6.0)
+        assert f.v[-1, 0] == pytest.approx(5.0)
+
+    def test_y_slice_plane_axes(self, volume):
+        f = volume.slice(SliceSpec("y", 1))
+        assert f.grid.shape == (4, 6)  # (nz, nx)
+        # Components (u, w) = (X, Z).
+        assert f.v[-1, 0] == pytest.approx(4.0)
+
+    def test_x_slice(self, volume):
+        f = volume.slice(SliceSpec("x", 0))
+        assert f.grid.shape == (4, 5)  # (nz, ny)
+
+    def test_out_of_range_index(self, volume):
+        with pytest.raises(FieldError):
+            volume.slice(SliceSpec("z", 99))
+
+    def test_bad_axis(self):
+        with pytest.raises(FieldError):
+            SliceSpec("w", 0)
+
+    def test_negative_index(self):
+        with pytest.raises(FieldError):
+            SliceSpec("z", -1)
+
+    def test_nbytes(self, volume):
+        assert volume.nbytes() == 4 * 5 * 6 * 3 * 8

@@ -1,0 +1,105 @@
+"""Tests for time interpolation over stored frames (repro.fields.timeseries)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FieldError
+from repro.fields.grid import RegularGrid
+from repro.fields.timeseries import TimeInterpolatedField
+from repro.fields.vectorfield import VectorField2D
+
+GRID = RegularGrid(8, 6, (0.0, 2.0, 0.0, 1.5))
+
+
+def make_reader(values):
+    """Frame i is a uniform field of magnitude values[i] along x."""
+
+    def reader(i):
+        data = np.zeros((*GRID.shape, 2))
+        data[..., 0] = values[i]
+        return VectorField2D(GRID, data)
+
+    return reader
+
+
+class TestConstruction:
+    def test_needs_two_frames(self):
+        with pytest.raises(FieldError):
+            TimeInterpolatedField(make_reader([1.0]), [0.0])
+
+    def test_times_strictly_increasing(self):
+        with pytest.raises(FieldError):
+            TimeInterpolatedField(make_reader([1.0, 2.0]), [0.0, 0.0])
+
+    def test_range_properties(self):
+        f = TimeInterpolatedField(make_reader([1.0, 2.0, 3.0]), [0.0, 1.0, 4.0])
+        assert f.t_min == 0.0 and f.t_max == 4.0
+
+
+class TestInterpolation:
+    @pytest.fixture
+    def series(self):
+        return TimeInterpolatedField(make_reader([0.0, 2.0, 6.0]), [0.0, 1.0, 2.0])
+
+    def test_exact_at_frame_times(self, series):
+        assert series.field_at(1.0).u[0, 0] == pytest.approx(2.0)
+        assert series.field_at(2.0).u[0, 0] == pytest.approx(6.0)
+
+    def test_linear_between_frames(self, series):
+        assert series.field_at(0.5).u[0, 0] == pytest.approx(1.0)
+        assert series.field_at(1.25).u[0, 0] == pytest.approx(3.0)
+
+    def test_clamped_outside_range(self, series):
+        assert series.field_at(-5.0).u[0, 0] == pytest.approx(0.0)
+        assert series.field_at(99.0).u[0, 0] == pytest.approx(6.0)
+
+    def test_nonuniform_times(self):
+        f = TimeInterpolatedField(make_reader([0.0, 10.0]), [0.0, 5.0])
+        assert f.field_at(1.0).u[0, 0] == pytest.approx(2.0)
+
+    def test_reader_called_lazily(self):
+        calls = []
+
+        def reader(i):
+            calls.append(i)
+            return make_reader([0.0, 1.0, 2.0])(i)
+
+        f = TimeInterpolatedField(reader, [0.0, 1.0, 2.0])
+        f.field_at(0.25)
+        assert set(calls) == {0, 1}
+
+    def test_cache_reused_for_sequential_playback(self):
+        calls = []
+
+        def reader(i):
+            calls.append(i)
+            return make_reader([0.0, 1.0, 2.0])(i)
+
+        f = TimeInterpolatedField(reader, [0.0, 1.0, 2.0])
+        for t in np.linspace(0.0, 1.0, 7):
+            f.field_at(t)
+        assert len(calls) <= 3  # each frame loaded about once
+
+
+class TestUnsteadySampler:
+    def test_pathline_through_stored_data(self):
+        # Frames: u = 0 at t=0, u = 2 at t=1 -> u(t) = 2t; x(t) = t^2.
+        from repro.advection.unsteady import pathline_bundle
+
+        series = TimeInterpolatedField(make_reader([0.0, 2.0]), [0.0, 1.0])
+        paths = pathline_bundle(series.sampler(), np.array([[0.0, 0.5]]), 0.0, 1.0 / 32, 32)
+        assert paths[0, -1, 0] == pytest.approx(1.0, abs=1e-6)
+        assert paths[0, -1, 1] == pytest.approx(0.5)
+
+    def test_from_store(self, tmp_path):
+        from repro.apps.dns.store import ChunkedFieldStore
+        from repro.fields.grid import RectilinearGrid
+
+        grid = RectilinearGrid(np.linspace(0, 2, 8), np.linspace(0, 1.5, 6))
+        store = ChunkedFieldStore.create(tmp_path / "db", grid, frames_per_chunk=2)
+        for i in range(4):
+            data = np.full((*grid.shape, 2), float(i))
+            store.append(VectorField2D(grid, data), time=float(i))
+        store.flush()
+        series = TimeInterpolatedField.from_store(store)
+        assert series.field_at(1.5).u[0, 0] == pytest.approx(1.5)

@@ -1,0 +1,33 @@
+"""The fast examples must actually run — they are part of the public API."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+EXAMPLES = os.path.abspath(os.path.join(HERE, "..", "..", "examples"))
+
+
+def run_example(name, timeout=240):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize(
+    "script,expected",
+    [
+        ("quickstart.py", "quickstart_vortex.pgm"),
+        ("separation_study.py", "separation band"),
+        ("performance_prediction.py", "16 processors"),
+    ],
+)
+def test_fast_example_runs(script, expected):
+    result = run_example(script)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expected in result.stdout

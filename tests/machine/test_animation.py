@@ -1,0 +1,68 @@
+"""Tests for the animation-rate model (repro.machine.animation)."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.animation import (
+    AnimationTiming,
+    data_bytes_for_grid,
+    simulate_animation,
+)
+from repro.machine.workload import SpotWorkload
+from repro.machine.workstation import WorkstationConfig
+
+
+class TestDataBytes:
+    def test_atmospheric_grid(self):
+        # 53x55 cells, 2 floats, 4 bytes.
+        assert data_bytes_for_grid((55, 53)) == 55 * 53 * 8
+
+    def test_validation(self):
+        with pytest.raises(MachineError):
+            data_bytes_for_grid((0, 10))
+
+
+class TestAnimationTiming:
+    def test_frame_composition(self):
+        t = AnimationTiming(read_s=0.01, synthesis_s=0.1, display_s=0.005)
+        assert t.frame_s == pytest.approx(0.115)
+        assert t.frames_per_second == pytest.approx(1 / 0.115)
+
+    def test_budget(self):
+        fast = AnimationTiming(0.001, 0.05, 0.005)
+        slow = AnimationTiming(0.001, 0.5, 0.005)
+        assert fast.meets_budget(5.0)
+        assert not slow.meets_budget(5.0)
+
+
+class TestSimulateAnimation:
+    def test_read_time_is_marginal(self):
+        # §2: the data read happens 5-15x/s and must be cheap relative to
+        # synthesis; a 53x55 frame over an 800 MB/s bus is microseconds.
+        timing, _ = simulate_animation(WorkstationConfig(8, 4), SpotWorkload.atmospheric())
+        assert timing.read_s < 0.001 * timing.synthesis_s
+
+    def test_full_machine_meets_budget_atmospheric(self):
+        timing, _ = simulate_animation(WorkstationConfig(8, 4), SpotWorkload.atmospheric())
+        assert timing.meets_budget(5.0)
+
+    def test_single_cpu_misses_budget(self):
+        timing, _ = simulate_animation(WorkstationConfig(1, 1), SpotWorkload.atmospheric())
+        assert not timing.meets_budget(5.0)
+
+    def test_custom_data_bytes(self):
+        big = 800_000_000  # one full bus-second of data
+        timing, _ = simulate_animation(
+            WorkstationConfig(8, 4), SpotWorkload.atmospheric(), data_bytes=big
+        )
+        assert timing.read_s == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(MachineError):
+            simulate_animation(
+                WorkstationConfig(1, 1), SpotWorkload.atmospheric(), display_s=-1.0
+            )
+        with pytest.raises(MachineError):
+            simulate_animation(
+                WorkstationConfig(1, 1), SpotWorkload.atmospheric(), data_bytes=-5
+            )

@@ -1,0 +1,209 @@
+"""Tests for the discrete-event engine (repro.machine.events)."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.events import Resource, Simulator, Store
+
+
+class TestSimulatorBasics:
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield sim.timeout(2.5)
+            log.append(sim.now)
+            yield sim.timeout(1.5)
+            log.append(sim.now)
+
+        sim.process(proc())
+        end = sim.run()
+        assert log == [2.5, 4.0]
+        assert end == 4.0
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator()
+        with pytest.raises(MachineError):
+            sim.timeout(-1.0)
+
+    def test_two_processes_interleave_deterministically(self):
+        sim = Simulator()
+        log = []
+
+        def proc(name, dt):
+            for _ in range(3):
+                yield sim.timeout(dt)
+                log.append((sim.now, name))
+
+        sim.process(proc("a", 1.0))
+        sim.process(proc("b", 1.5))
+        sim.run()
+        # Tie at t=3.0: b's timeout was scheduled at t=1.5, before a's at
+        # t=2.0, so insertion order puts b first — determinism contract.
+        assert log == [
+            (1.0, "a"), (1.5, "b"), (2.0, "a"), (3.0, "b"), (3.0, "a"), (4.5, "b"),
+        ]
+
+    def test_event_value_passed_to_waiter(self):
+        sim = Simulator()
+        ev = sim.event()
+        got = []
+
+        def waiter():
+            value = yield ev
+            got.append(value)
+
+        def trigger():
+            yield sim.timeout(1.0)
+            ev.succeed("payload")
+
+        sim.process(waiter())
+        sim.process(trigger())
+        sim.run()
+        assert got == ["payload"]
+
+    def test_double_succeed_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(MachineError):
+            ev.succeed()
+
+    def test_process_completion_is_awaitable(self):
+        sim = Simulator()
+
+        def inner():
+            yield sim.timeout(2.0)
+            return 42
+
+        results = []
+
+        def outer():
+            value = yield sim.process(inner())
+            results.append((sim.now, value))
+
+        sim.process(outer())
+        sim.run()
+        assert results == [(2.0, 42)]
+
+    def test_yielding_non_event_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield 5
+
+        sim.process(bad())
+        with pytest.raises(MachineError):
+            sim.run()
+
+    def test_run_until(self):
+        sim = Simulator()
+
+        def proc():
+            for _ in range(10):
+                yield sim.timeout(1.0)
+
+        sim.process(proc())
+        end = sim.run(until=3.5)
+        assert end == 3.5
+
+
+class TestResource:
+    def test_serializes_holders(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        spans = []
+
+        def worker():
+            start_req = res.request()
+            yield start_req
+            t0 = sim.now
+            yield sim.timeout(1.0)
+            spans.append((t0, sim.now))
+            res.release()
+
+        for _ in range(3):
+            sim.process(worker())
+        sim.run()
+        assert spans == [(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]
+
+    def test_capacity_two_overlaps(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        finishes = []
+
+        def worker():
+            yield res.request()
+            yield sim.timeout(1.0)
+            finishes.append(sim.now)
+            res.release()
+
+        for _ in range(4):
+            sim.process(worker())
+        sim.run()
+        assert finishes == [1.0, 1.0, 2.0, 2.0]
+
+    def test_held_accounts_busy_time(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def worker():
+            yield from res.held(2.0)
+
+        sim.process(worker())
+        sim.run()
+        assert res.busy_time == 2.0
+
+    def test_release_without_request(self):
+        sim = Simulator()
+        res = Resource(sim, 1)
+        with pytest.raises(MachineError):
+            res.release()
+
+    def test_bad_capacity(self):
+        with pytest.raises(MachineError):
+            Resource(Simulator(), 0)
+
+
+class TestStore:
+    def test_fifo_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        def producer():
+            for i in range(3):
+                yield sim.timeout(1.0)
+                store.put(i)
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_immediate_get_when_stocked(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("x")
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        sim.process(consumer())
+        sim.run()
+        assert got == [(0.0, "x")]
+
+    def test_len(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2

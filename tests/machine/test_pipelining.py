@@ -1,0 +1,49 @@
+"""Tests for the frame-pipelining model (repro.machine.animation.pipelined_rate)."""
+
+import pytest
+
+from repro.machine.animation import pipelined_rate
+from repro.machine.workload import SpotWorkload
+from repro.machine.workstation import WorkstationConfig
+
+W1 = SpotWorkload.atmospheric()
+W2 = SpotWorkload.turbulence()
+
+
+class TestPipelinedRate:
+    def test_pipelining_never_slower(self):
+        for shape in [(1, 1), (4, 2), (8, 4), (8, 1)]:
+            piped, sequential = pipelined_rate(WorkstationConfig(*shape), W1)
+            assert piped >= sequential * 0.999
+
+    def test_biggest_gain_where_blend_dominates(self):
+        # The blend term hurts most at many pipes with ample processors.
+        piped_84, seq_84 = pipelined_rate(WorkstationConfig(8, 4), W1)
+        piped_11, seq_11 = pipelined_rate(WorkstationConfig(1, 1), W1)
+        assert piped_84 / seq_84 > piped_11 / seq_11
+
+    def test_conclusion_headroom(self):
+        # Section 6: "higher speeds than presented in the paper are
+        # possible" — the pipelined model exceeds the paper's best
+        # Table-1 cell (5.6 tex/s).
+        piped, _ = pipelined_rate(WorkstationConfig(8, 4), W1)
+        assert piped > 5.6
+
+    def test_blend_can_become_the_bottleneck(self):
+        # With enough resources the sequential blend bounds the rate.
+        cfg = WorkstationConfig(64, 16)
+        piped, _ = pipelined_rate(cfg, W1)
+        from repro.machine.costs import CostModel
+
+        blend_bound = 1.0 / (16 * CostModel.onyx2().blend_time(W1.texture_pixels))
+        assert piped == pytest.approx(blend_bound, rel=1e-6)
+
+    def test_tiled_lifts_the_blend_bound(self):
+        cfg = WorkstationConfig(64, 16)
+        piped_untiled, _ = pipelined_rate(cfg, W1, tiled=False)
+        piped_tiled, _ = pipelined_rate(cfg, W1, tiled=True)
+        assert piped_tiled > piped_untiled
+
+    def test_turbulence_also_gains(self):
+        piped, sequential = pipelined_rate(WorkstationConfig(8, 4), W2)
+        assert piped > sequential

@@ -1,0 +1,163 @@
+"""Tests for the workstation schedule simulator (repro.machine.schedule).
+
+These encode the *shape* claims of the paper's evaluation — the actual
+cell-by-cell comparison against Tables 1 and 2 lives in the benchmark
+harness and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.analytic import (
+    balanced_processors_per_pipe,
+    eq21_time,
+    eq32_time,
+    total_genP,
+    total_genT,
+)
+from repro.machine.costs import CostModel
+from repro.machine.schedule import format_table, simulate_texture, sweep_configurations
+from repro.machine.workload import SpotWorkload
+from repro.machine.workstation import WorkstationConfig
+
+
+W1 = SpotWorkload.atmospheric()
+W2 = SpotWorkload.turbulence()
+
+
+def rate(n_proc, n_pipe, workload=W1, **kw):
+    return simulate_texture(WorkstationConfig(n_proc, n_pipe), workload, **kw).textures_per_second
+
+
+class TestBaselineCells:
+    def test_table1_1x1_about_one_texture_per_second(self):
+        assert rate(1, 1, W1) == pytest.approx(1.0, rel=0.15)
+
+    def test_table2_1x1_about_0p7(self):
+        assert rate(1, 1, W2) == pytest.approx(0.7, rel=0.15)
+
+    def test_table2_slower_than_table1_everywhere(self):
+        r1 = sweep_configurations(W1)
+        r2 = sweep_configurations(W2)
+        for key in r1:
+            assert r2[key].textures_per_second < r1[key].textures_per_second
+
+
+class TestScalingShape:
+    def test_two_processors_double_rate(self):
+        assert rate(2, 1) == pytest.approx(2.0 * rate(1, 1), rel=0.15)
+
+    def test_saturation_beyond_four_processors_per_pipe(self):
+        # §5.1: "Using more than 4 processors per pipe does not increase
+        # performance."
+        assert rate(8, 1) <= rate(4, 1) * 1.05
+
+    def test_pipes_without_processors_do_not_help(self):
+        # §5.1: more pipes help "if and only if there are a sufficient
+        # number of processors to keep the graphics pipes busy".
+        assert rate(2, 2) <= rate(2, 1) * 1.1
+
+    def test_pipes_with_processors_do_help(self):
+        assert rate(8, 2) > rate(8, 1) * 1.4
+
+    def test_best_configuration_is_8x4(self):
+        results = sweep_configurations(W1)
+        best = max(results, key=lambda k: results[k].textures_per_second)
+        assert best == (8, 4)
+
+    def test_sublinear_at_4n_processors_n_pipes(self):
+        # §5.1: no linear speedup at (4n, n) "due to the additional overhead
+        # caused by blending" — the sequential c of eq 3.2.
+        r11 = rate(4, 1)
+        r44 = rate(8, 2)  # 4 procs/pipe at doubled scale
+        assert r44 < 2.0 * r11
+
+
+class TestBusTraffic:
+    def test_table2_bytes_per_texture(self):
+        res = simulate_texture(WorkstationConfig(8, 4), W2)
+        geometry_bytes = W2.total_bytes
+        assert res.bytes_on_bus >= geometry_bytes  # plus readbacks
+
+    def test_bus_well_below_capacity(self):
+        # §5.1: ~116 MB/s needed at 5.6 tex/s, far under 800 MB/s.
+        res = simulate_texture(WorkstationConfig(8, 4), W1)
+        assert res.bus_bandwidth_used_Bps < 0.3 * 800e6
+
+    def test_bus_busy_time_below_makespan(self):
+        res = simulate_texture(WorkstationConfig(8, 4), W1)
+        assert 0 < res.bus_busy_s < res.makespan_s
+
+
+class TestOptions:
+    def test_tiling_duplicates_spots(self):
+        res = simulate_texture(WorkstationConfig(8, 4), W2, tiled=True)
+        assert res.duplicated_spots > 0
+
+    def test_tiling_reduces_blend_time(self):
+        untiled = simulate_texture(WorkstationConfig(8, 4), W2, tiled=False)
+        tiled = simulate_texture(WorkstationConfig(8, 4), W2, tiled=True)
+        assert tiled.blend_s < untiled.blend_s
+
+    def test_single_group_never_duplicates(self):
+        res = simulate_texture(WorkstationConfig(4, 1), W1, tiled=True)
+        assert res.duplicated_spots == 0
+
+    def test_hardware_transform_slower_at_scale(self):
+        # The paper chose software transform to avoid per-spot pipe syncs.
+        sw = simulate_texture(WorkstationConfig(8, 1), W2, hardware_transform=False)
+        hw = simulate_texture(WorkstationConfig(8, 1), W2, hardware_transform=True)
+        assert hw.makespan_s > sw.makespan_s
+
+    def test_bad_batch_size(self):
+        with pytest.raises(MachineError):
+            simulate_texture(WorkstationConfig(1, 1), W1, batch_spots=0)
+
+    def test_custom_costs_used(self):
+        slow = CostModel.onyx2().with_overrides(cpu_vertex_s=1e-5)
+        res = simulate_texture(WorkstationConfig(1, 1), W1, costs=slow)
+        assert res.textures_per_second < 0.2
+
+    def test_determinism(self):
+        a = simulate_texture(WorkstationConfig(8, 4), W1)
+        b = simulate_texture(WorkstationConfig(8, 4), W1)
+        assert a.makespan_s == b.makespan_s
+
+
+class TestSweepAndFormat:
+    def test_sweep_skips_infeasible_cells(self):
+        results = sweep_configurations(W1, (1, 2), (1, 2))
+        assert (1, 2) not in results
+        assert set(results) == {(1, 1), (2, 1), (2, 2)}
+
+    def test_format_table_layout(self):
+        results = sweep_configurations(W1, (1, 2), (1, 2))
+        text = format_table(results, (1, 2), (1, 2))
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("nP\\nG")
+
+
+class TestAnalyticCrossChecks:
+    def test_eq21_is_max_of_work(self):
+        assert eq21_time(W1) == pytest.approx(max(total_genP(W1), total_genT(W1)))
+
+    def test_eq32_lower_bounds_simulator(self):
+        # The DES includes overheads eq 3.2 ignores, so it can never be
+        # faster than the analytic bound.
+        for np_, ng in [(1, 1), (4, 2), (8, 4), (8, 1)]:
+            analytic = eq32_time(W1, np_, ng)
+            simulated = simulate_texture(WorkstationConfig(np_, ng), W1).makespan_s
+            assert simulated >= analytic * 0.999
+
+    def test_eq32_monotone_in_resources(self):
+        assert eq32_time(W1, 8, 4) <= eq32_time(W1, 4, 4) <= eq32_time(W1, 4, 1)
+
+    def test_balance_point_near_four(self):
+        # §5.1/§5.2: optimum around 4 processors per pipe.
+        assert 2.0 < balanced_processors_per_pipe(W1) < 5.0
+        assert 2.0 < balanced_processors_per_pipe(W2) < 5.0
+
+    def test_eq32_validation(self):
+        with pytest.raises(MachineError):
+            eq32_time(W1, 0, 1)

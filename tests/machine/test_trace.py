@@ -1,0 +1,78 @@
+"""Tests for schedule tracing (TraceSpan / Gantt / utilization)."""
+
+import pytest
+
+from repro.machine.schedule import simulate_texture
+from repro.machine.workload import SpotWorkload
+from repro.machine.workstation import WorkstationConfig
+
+W1 = SpotWorkload.atmospheric()
+
+
+@pytest.fixture(scope="module")
+def traced():
+    return simulate_texture(WorkstationConfig(4, 2), W1, trace=True)
+
+
+class TestTraceRecording:
+    def test_untraced_by_default(self):
+        res = simulate_texture(WorkstationConfig(2, 1), W1)
+        assert res.trace == []
+        assert "no trace recorded" in res.format_gantt()
+
+    def test_trace_does_not_change_timing(self, traced):
+        plain = simulate_texture(WorkstationConfig(4, 2), W1)
+        assert plain.makespan_s == traced.makespan_s
+
+    def test_expected_actors_present(self, traced):
+        actors = {s.actor for s in traced.trace}
+        assert {"g0.master", "g1.master", "g0.slave0", "g1.slave0",
+                "pipe0", "pipe1", "bus", "blender"} <= actors
+
+    def test_spans_within_makespan(self, traced):
+        for span in traced.trace:
+            assert 0.0 <= span.start_s <= span.end_s <= traced.makespan_s + 1e-12
+
+    def test_per_actor_spans_disjoint(self, traced):
+        by_actor = {}
+        for s in traced.trace:
+            by_actor.setdefault(s.actor, []).append(s)
+        for actor, spans in by_actor.items():
+            if actor == "bus":
+                continue  # bus spans are recorded by independent transfers
+            spans.sort(key=lambda s: s.start_s)
+            for a, b in zip(spans, spans[1:]):
+                assert a.end_s <= b.start_s + 1e-12, f"{actor} overlaps itself"
+
+    def test_pipe_busy_matches_trace(self, traced):
+        scan = sum(s.duration_s for s in traced.trace if s.actor == "pipe0")
+        assert scan == pytest.approx(traced.pipe_busy_s[0], rel=1e-9)
+
+    def test_blend_spans_after_all_scans(self, traced):
+        last_scan = max(s.end_s for s in traced.trace if s.kind == "scan")
+        first_blend = min(s.start_s for s in traced.trace if s.kind == "blend")
+        assert first_blend >= last_scan - 1e-12
+
+    def test_kind_vocabulary(self, traced):
+        kinds = {s.kind for s in traced.trace}
+        assert kinds <= {"shape", "feed", "transfer", "scan", "blend", "readback"}
+
+
+class TestGanttAndUtilization:
+    def test_gantt_has_one_row_per_actor(self, traced):
+        text = traced.format_gantt(width=60)
+        actors = {s.actor for s in traced.trace}
+        for actor in actors:
+            assert actor in text
+
+    def test_utilization_in_unit_range(self, traced):
+        util = traced.actor_utilization()
+        assert util
+        for value in util.values():
+            assert 0.0 < value <= 1.0 + 1e-9
+
+    def test_cpu_bound_config_has_busy_processors(self, traced):
+        # (4, 2) on the atmospheric workload is CPU-bound: processors are
+        # busier than the pipes.
+        util = traced.actor_utilization()
+        assert util["g0.slave0"] > util["pipe0"]

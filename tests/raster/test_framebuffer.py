@@ -1,0 +1,123 @@
+"""Tests for repro.raster.framebuffer and blend."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RasterError
+from repro.raster.blend import blend_add, blend_max, blend_over
+from repro.raster.framebuffer import FrameBuffer
+
+WIN = (0.0, 4.0, 0.0, 2.0)
+
+
+class TestFrameBufferGeometry:
+    def test_construction(self):
+        fb = FrameBuffer(8, 4, WIN)
+        assert fb.data.shape == (4, 8)
+        assert fb.pixel_size == (0.5, 0.5)
+
+    def test_validation(self):
+        with pytest.raises(RasterError):
+            FrameBuffer(0, 4, WIN)
+        with pytest.raises(RasterError):
+            FrameBuffer(4, 4, (0, 0, 0, 1))
+
+    def test_world_to_pixel_corners(self):
+        fb = FrameBuffer(8, 4, WIN)
+        pp = fb.world_to_pixel(np.array([[0.0, 0.0], [4.0, 2.0]]))
+        np.testing.assert_allclose(pp, [[0.0, 0.0], [8.0, 4.0]])
+
+    def test_pixel_roundtrip(self):
+        fb = FrameBuffer(8, 4, WIN)
+        pts = np.array([[1.3, 0.7], [3.9, 1.99]])
+        pp = fb.world_to_pixel(pts)
+        back = fb.pixel_to_world(pp[:, 0], pp[:, 1])
+        np.testing.assert_allclose(back, pts, atol=1e-12)
+
+    def test_pixel_centers_shape_and_range(self):
+        fb = FrameBuffer(8, 4, WIN)
+        X, Y = fb.pixel_centers()
+        assert X.shape == (4, 8)
+        assert X[0, 0] == pytest.approx(0.25)
+        assert Y[-1, -1] == pytest.approx(1.75)
+
+
+class TestRectOps:
+    def test_view_write_through(self):
+        fb = FrameBuffer(8, 4, WIN)
+        fb.view((2, 4, 1, 3))[...] = 5.0
+        assert fb.data[1:3, 2:4].sum() == 20.0
+        assert fb.total() == 20.0
+
+    def test_clip_rect(self):
+        fb = FrameBuffer(8, 4, WIN)
+        assert fb.clip_rect((-5, 100, -5, 100)) == (0, 8, 0, 4)
+
+    def test_paste_from(self):
+        a = FrameBuffer(8, 4, WIN)
+        b = FrameBuffer(4, 2, (0, 2, 0, 1))
+        b.data[...] = 3.0
+        a.paste_from(b, (0, 4, 0, 2), (0, 4, 0, 2))
+        assert a.data[:2, :4].sum() == 24.0
+        assert a.data[2:, :].sum() == 0.0
+
+    def test_add_from_accumulates(self):
+        a = FrameBuffer(4, 4, (0, 1, 0, 1))
+        b = FrameBuffer(4, 4, (0, 1, 0, 1))
+        b.data[...] = 1.0
+        a.add_from(b, (0, 4, 0, 4), (0, 4, 0, 4))
+        a.add_from(b, (0, 4, 0, 4), (0, 4, 0, 4))
+        np.testing.assert_array_equal(a.data, 2.0)
+
+    def test_paste_shape_mismatch(self):
+        a = FrameBuffer(8, 4, WIN)
+        b = FrameBuffer(4, 2, (0, 2, 0, 1))
+        with pytest.raises(RasterError):
+            a.paste_from(b, (0, 3, 0, 2), (0, 4, 0, 2))
+
+    def test_copy_independent(self):
+        a = FrameBuffer(4, 4, (0, 1, 0, 1))
+        c = a.copy()
+        c.data[...] = 9.0
+        assert a.total() == 0.0
+
+    def test_clear(self):
+        a = FrameBuffer(4, 4, (0, 1, 0, 1))
+        a.data[...] = 1.0
+        a.clear()
+        assert a.total() == 0.0
+
+
+class TestBlend:
+    def test_add(self):
+        np.testing.assert_array_equal(blend_add(np.ones(4), 2 * np.ones(4)), 3 * np.ones(4))
+
+    def test_max(self):
+        np.testing.assert_array_equal(
+            blend_max(np.array([1.0, 5.0]), np.array([3.0, 2.0])), [3.0, 5.0]
+        )
+
+    def test_over_alpha_zero_keeps_dst(self):
+        dst = np.array([1.0, 2.0])
+        out = blend_over(dst, np.array([9.0, 9.0]), np.array([0.0, 0.0]))
+        np.testing.assert_array_equal(out, dst)
+
+    def test_over_alpha_one_takes_src(self):
+        out = blend_over(np.zeros(2), np.array([9.0, 8.0]), np.array([1.0, 1.0]))
+        np.testing.assert_array_equal(out, [9.0, 8.0])
+
+    def test_over_alpha_validation(self):
+        with pytest.raises(RasterError):
+            blend_over(np.zeros(2), np.zeros(2), np.array([1.5, 0.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(RasterError):
+            blend_add(np.zeros(2), np.zeros(3))
+
+    def test_add_commutative_associative(self):
+        rng = np.random.default_rng(0)
+        a, b, c = rng.normal(size=(3, 8, 8))
+        np.testing.assert_allclose(blend_add(a, b), blend_add(b, a))
+        np.testing.assert_allclose(
+            blend_add(blend_add(a, b), c), blend_add(a, blend_add(b, c)), atol=1e-12
+        )

@@ -1,0 +1,66 @@
+"""Tests for repro.utils.timing."""
+
+import pytest
+
+from repro.utils.timing import StageTimer, Stopwatch
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        with sw:
+            pass
+        assert sw.laps == 2
+        assert sw.elapsed >= 0.0
+
+    def test_double_start_raises(self):
+        sw = Stopwatch()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0 and sw.laps == 0
+
+    def test_mean_no_laps_is_zero(self):
+        assert Stopwatch().mean == 0.0
+
+
+class TestStageTimer:
+    def test_unknown_stage_created_on_demand(self):
+        t = StageTimer()
+        with t.time("custom"):
+            pass
+        assert "custom" in t.report()
+
+    def test_elapsed_of_untimed_stage_is_zero(self):
+        assert StageTimer().elapsed("nope") == 0.0
+
+    def test_textures_per_second_counts_only_named_stages(self):
+        t = StageTimer()
+        with t.time("advect"):
+            pass
+        with t.time("render"):
+            pass
+        rate = t.textures_per_second(10)
+        assert rate > 0
+
+    def test_textures_per_second_infinite_when_unmeasured(self):
+        assert StageTimer().textures_per_second(5) == float("inf")
+
+    def test_reset_clears_all(self):
+        t = StageTimer()
+        with t.time("advect"):
+            pass
+        t.reset()
+        assert t.elapsed("advect") == 0.0

@@ -1,0 +1,69 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+    check_shape,
+)
+
+
+class TestCheckPositive:
+    def test_passes(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    @pytest.mark.parametrize("bad", [0, -1, float("nan")])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_positive("x", bad)
+
+
+class TestCheckNonNegative:
+    def test_zero_ok(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.1)
+
+
+class TestCheckInRange:
+    def test_bounds_inclusive(self):
+        assert check_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_outside_rejected(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.01, 0.0, 1.0)
+
+
+class TestCheckShape:
+    def test_exact_match(self):
+        a = np.zeros((3, 2))
+        assert check_shape("a", a, (3, 2)) is not None
+
+    def test_wildcard(self):
+        check_shape("a", np.zeros((7, 2)), (None, 2))
+
+    def test_wrong_rank(self):
+        with pytest.raises(ValueError):
+            check_shape("a", np.zeros(3), (3, 1))
+
+    def test_wrong_dim(self):
+        with pytest.raises(ValueError):
+            check_shape("a", np.zeros((3, 3)), (3, 2))
+
+
+class TestCheckPowerOfTwo:
+    @pytest.mark.parametrize("good", [1, 2, 64, 512])
+    def test_accepts(self, good):
+        assert check_power_of_two("n", good) == good
+
+    @pytest.mark.parametrize("bad", [0, -2, 3, 96])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_power_of_two("n", bad)
