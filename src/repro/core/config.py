@@ -17,6 +17,7 @@ from repro.spots.bent import BentSpotConfig
 
 SpotMode = Literal["standard", "bent"]
 RenderMode = Literal["exact", "sampled"]
+RasterBackend = Literal["exact", "batched"]
 PartitionStrategy = Literal["round_robin", "block", "spatial"]
 PostFilter = Literal["none", "highpass", "equalize"]
 Seeding = Literal["uniform", "jittered", "cell_area"]
@@ -76,6 +77,13 @@ class SpotNoiseConfig:
         Spot intensity amplitude (weights are +/- this value).
     render_mode:
         ``"exact"`` scanline rasterisation or ``"sampled"`` splatting.
+    raster_backend:
+        Implementation of the exact scanline path: ``"batched"`` (the
+        default) rasterises all quads of a draw call in vectorised numpy
+        passes; ``"exact"`` is the per-quad reference loop kept as the
+        oracle.  Both produce bit-identical textures (the batched
+        renderer reproduces the reference's arithmetic and accumulation
+        order); ignored when ``render_mode`` is ``"sampled"``.
     samples_per_edge:
         Sampling density of the splatting renderer.
     n_groups:
@@ -113,6 +121,7 @@ class SpotNoiseConfig:
     bent: BentConfig = field(default_factory=BentConfig)
     intensity: float = 1.0
     render_mode: RenderMode = "sampled"
+    raster_backend: RasterBackend = "batched"
     samples_per_edge: int = 2
     n_groups: int = 1
     processors_per_group: int = 1
@@ -136,6 +145,8 @@ class SpotNoiseConfig:
             raise PipelineError("anisotropy must be >= 0")
         if self.render_mode not in ("exact", "sampled"):
             raise PipelineError(f"unknown render mode {self.render_mode!r}")
+        if self.raster_backend not in ("exact", "batched"):
+            raise PipelineError(f"unknown raster backend {self.raster_backend!r}")
         if self.samples_per_edge < 1:
             raise PipelineError("samples_per_edge must be >= 1")
         if self.n_groups < 1:

@@ -95,10 +95,22 @@ class SpotNoisePipeline:
 
     # -- stage 1 ---------------------------------------------------------------
     def read_data(self, field: VectorField2D) -> None:
-        """Accept a new data frame; particle state is preserved."""
+        """Accept a new data frame; particle state is preserved.
+
+        The new field must match the pipeline's grid geometry — both the
+        domain bounds (particle positions live in world space) and the
+        grid shape (spot sizes and tile guard bands were derived from the
+        cell size at construction).
+        """
         if field.grid.bounds != self.field.grid.bounds:
             raise PipelineError(
                 "new field has different domain bounds; build a new pipeline instead"
+            )
+        if tuple(field.grid.shape) != tuple(self.field.grid.shape):
+            raise PipelineError(
+                f"new field has different grid shape {tuple(field.grid.shape)} "
+                f"(pipeline built for {tuple(self.field.grid.shape)}); "
+                "build a new pipeline instead"
             )
         with self.timer.time("read"):
             self.field = field

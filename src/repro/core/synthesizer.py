@@ -15,11 +15,19 @@ import numpy as np
 from repro.core.config import SpotNoiseConfig
 from repro.core.pipeline import FrameResult, SpotNoisePipeline
 from repro.advection.lifecycle import LifeCyclePolicy
+from repro.errors import PipelineError
 from repro.fields.vectorfield import VectorField2D
 from repro.machine.costs import CostModel
 from repro.machine.schedule import TimingResult, simulate_texture
 from repro.machine.workload import SpotWorkload
 from repro.machine.workstation import WorkstationConfig
+
+
+#: Grid shape assumed by :func:`workload_from_config` when no field is
+#: supplied — matches the analytic demo fields' default resolution and is
+#: used consistently for spot-coverage estimates *and* the workload's
+#: ``grid_shape`` (read-rate costs), for both spot modes.
+DEFAULT_WORKLOAD_GRID_SHAPE = (64, 64)
 
 
 def workload_from_config(
@@ -29,21 +37,20 @@ def workload_from_config(
 
     Pixel coverage per spot is estimated from the spot geometry and grid
     resolution (the same arithmetic the workload constructors use for the
-    paper's two applications).
+    paper's two applications).  Without a *field* the documented default
+    grid :data:`DEFAULT_WORKLOAD_GRID_SHAPE` is assumed throughout — it
+    feeds both the per-spot coverage estimate and the workload's
+    ``grid_shape``, so machine-model predictions stay self-consistent.
     """
+    grid_shape = tuple(field.grid.shape) if field is not None else DEFAULT_WORKLOAD_GRID_SHAPE
+    nx = grid_shape[1]
     if config.spot_mode == "bent":
         b = config.bent
-        if field is not None:
-            nx = field.grid.shape[1]
-        else:
-            nx = 64
         px_per_cell = config.texture_size / nx
         pixels = max(1.0, (b.length_cells * px_per_cell) * (b.width_cells * px_per_cell))
     else:
-        nx = field.grid.shape[1] if field is not None else 64
         r_px = config.spot_radius_cells * config.texture_size / nx
         pixels = max(1.0, np.pi * r_px * r_px)
-    grid_shape = field.grid.shape if field is not None else (0, 0)
     return SpotWorkload(
         name="custom",
         n_spots=config.n_spots,
@@ -83,10 +90,30 @@ class SpotNoiseSynthesizer:
     def _ensure_pipeline(
         self, field: VectorField2D, policy: Optional[LifeCyclePolicy]
     ) -> SpotNoisePipeline:
-        if self._pipeline is None or self._pipeline.field.grid.bounds != field.grid.bounds:
-            if self._pipeline is not None:
-                self._pipeline.close()
-            self._pipeline = SpotNoisePipeline(self.config, field, policy=policy)
+        """Reuse the cached pipeline only when it actually fits the request.
+
+        A pipeline is bound to its field *geometry* (domain bounds and
+        grid shape — a same-bounds field at a different resolution needs
+        re-seeding and re-scaled spots) and to its life-cycle policy.  A
+        ``policy`` of ``None`` means "no preference" and reuses whatever
+        the pipeline was built with.
+        """
+        pipe = self._pipeline
+        if pipe is not None:
+            same_geometry = (
+                pipe.field.grid.bounds == field.grid.bounds
+                and tuple(pipe.field.grid.shape) == tuple(field.grid.shape)
+            )
+            same_policy = policy is None or policy == pipe.policy
+            if same_geometry and same_policy:
+                return pipe
+            if policy is None:
+                # Geometry forced the rebuild; with no new preference the
+                # old pipeline's policy carries over.
+                policy = pipe.policy
+            pipe.close()
+            self._pipeline = None
+        self._pipeline = SpotNoisePipeline(self.config, field, policy=policy)
         return self._pipeline
 
     # -- main entry points -------------------------------------------------------
@@ -112,14 +139,23 @@ class SpotNoiseSynthesizer:
         else:
             field_iter = iter(fields)
         pipe: Optional[SpotNoisePipeline] = None
-        for _ in range(n_frames):
+        for frame in range(n_frames):
             try:
                 field = next(field_iter)
             except StopIteration:
                 return
             if pipe is None:
                 pipe = self._ensure_pipeline(field, policy)
-            pipe.read_data(field)
+            try:
+                pipe.read_data(field)
+            except PipelineError as exc:
+                # read_data validates the grid geometry; rebuilding here
+                # would silently reset the particle population, so surface
+                # the change with the animation context attached instead.
+                raise PipelineError(
+                    f"field geometry changed mid-animation at frame {frame}: {exc}; "
+                    "animate over same-geometry fields or start a new animation"
+                ) from None
             yield pipe.step()
 
     # -- performance prediction ----------------------------------------------------

@@ -22,13 +22,16 @@ _BOUNDARY_MODES = ("clamp", "wrap", "zero")
 
 
 def _prepare_indices(
-    f: np.ndarray, n: int, mode: BoundaryMode
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    f: np.ndarray, n: int, mode: BoundaryMode, need_inside: bool = True
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, "np.ndarray | None"]:
     """Split fractional indices into (i0, i1, weight, inside-mask).
 
     ``i0``/``i1`` are valid array indices for the chosen boundary mode, ``t``
     is the interpolation weight toward ``i1`` and ``inside`` flags samples
     whose original coordinate was within the index range ``[0, n-1]``.
+    The inside mask is only consumed by the ``"zero"`` boundary mode;
+    callers on the hot path skip it with ``need_inside=False`` (``None``
+    is returned in its place).
     """
     f = np.asarray(f, dtype=np.float64)
     finite = np.isfinite(f)
@@ -36,7 +39,7 @@ def _prepare_indices(
         # Non-finite queries (corrupted particle state) sample the origin
         # texel and are flagged as outside; they must not poison the cast.
         f = np.where(finite, f, 0.0)
-    inside = (f >= 0.0) & (f <= n - 1) & finite
+    inside = ((f >= 0.0) & (f <= n - 1) & finite) if need_inside else None
     if mode == "wrap":
         f = np.mod(f, n - 1)
     else:
@@ -84,8 +87,9 @@ def bilinear_sample(
     if nx < 2 or ny < 2:
         raise FieldError("data must span at least 2 nodes per axis")
 
-    jx0, jx1, tx, in_x = _prepare_indices(fx, nx, mode)
-    jy0, jy1, ty, in_y = _prepare_indices(fy, ny, mode)
+    need_inside = mode == "zero"
+    jx0, jx1, tx, in_x = _prepare_indices(fx, nx, mode, need_inside)
+    jy0, jy1, ty, in_y = _prepare_indices(fy, ny, mode, need_inside)
 
     if data.ndim == 3:
         tx = tx[..., None]

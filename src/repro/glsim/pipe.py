@@ -27,6 +27,7 @@ from repro.glsim.commands import (
     command_bytes,
 )
 from repro.glsim.state import GLState
+from repro.raster.batched import rasterize_quads_batched
 from repro.raster.framebuffer import FrameBuffer
 from repro.raster.rasterize import rasterize_quads_exact
 from repro.raster.splat import rasterize_quads_sampled
@@ -126,7 +127,14 @@ class GraphicsPipe:
 
         mode = self.state.get("render_mode")
         if mode == "exact":
-            pixels = rasterize_quads_exact(
+            # The scanline path has two implementations producing
+            # bit-identical pixels: the vectorised batch renderer (the
+            # fast default) and the per-quad reference loop (the oracle).
+            if self.state.get("raster_backend") == "batched":
+                rasterize = rasterize_quads_batched
+            else:
+                rasterize = rasterize_quads_exact
+            pixels = rasterize(
                 self.framebuffer, quads, cmd.uvs, cmd.intensities, self._bound_texture
             )
         else:

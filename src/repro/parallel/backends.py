@@ -11,6 +11,12 @@ The decomposition is backend-agnostic: any callable that maps
   :mod:`multiprocessing`; true isolation, tasks are pickled.  This is the
   closest analogue of the paper's process groups on IRIX.
 
+The pooled backends (thread and process) keep their worker pools alive
+across :meth:`~ExecutionBackend.run` calls so animation frames amortise
+worker start-up, and discard a process pool whose ``map`` failed — a
+worker that died mid-task leaves the pool unusable, and keeping it would
+fail every subsequent frame.
+
 All backends must return results in group order and produce *identical*
 numerical output — asserted by the backend-equivalence tests, since spot
 independence (section 3) is exactly what makes that possible.
@@ -54,7 +60,13 @@ class SerialBackend(ExecutionBackend):
 
 
 class ThreadBackend(ExecutionBackend):
-    """One thread per group (bounded by *max_workers*)."""
+    """One thread per group (bounded by *max_workers*).
+
+    The executor persists across frames (grown when a later frame needs
+    more workers), honouring the runtime's promise that pools survive an
+    animation.  A task exception propagates to the caller but leaves the
+    executor usable — threads do not die with the task.
+    """
 
     name = "thread"
 
@@ -62,13 +74,29 @@ class ThreadBackend(ExecutionBackend):
         if max_workers is not None and max_workers < 1:
             raise BackendError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
+        self._pool: "ThreadPoolExecutor | None" = None
+        self._pool_size = 0
+
+    def _ensure_pool(self, n: int) -> ThreadPoolExecutor:
+        size = self.max_workers or n
+        if self._pool is not None and self._pool_size < size:
+            self.close()
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=size)
+            self._pool_size = size
+        return self._pool
 
     def run(self, tasks: Sequence[GroupTask]) -> List[GroupResult]:
         if not tasks:
             return []
-        workers = self.max_workers or len(tasks)
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(render_group, tasks))
+        pool = self._ensure_pool(len(tasks))
+        return list(pool.map(render_group, tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_size = 0
 
 
 class ProcessBackend(ExecutionBackend):
@@ -109,7 +137,19 @@ class ProcessBackend(ExecutionBackend):
         try:
             return pool.map(render_group, tasks)
         except Exception as exc:
+            # The pool may be unusable after a failed map (dead workers,
+            # half-drained queues); discard it so the next frame gets a
+            # fresh one instead of failing forever.
+            self._discard_pool()
             raise BackendError(f"process backend failed: {exc}") from exc
+
+    def _discard_pool(self) -> None:
+        """Tear down a possibly-broken pool without waiting on its tasks."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_size = 0
 
     def close(self) -> None:
         if self._pool is not None:

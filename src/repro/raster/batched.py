@@ -1,0 +1,352 @@
+"""Batched vectorised scanline rasterisation of textured quads.
+
+:func:`rasterize_quads_batched` produces the *same pixels* as the
+reference per-quad loop in :mod:`repro.raster.rasterize` but processes
+the whole quad batch in a handful of numpy passes:
+
+1. per-quad triangle windings (the reference flips ``v1``/``v2`` of a
+   negatively wound triangle) are resolved in bulk from the two signed
+   areas, giving each quad one of four winding combinations;
+2. quads are bucketed by winding combination and bounding-box size, so
+   each bucket evaluates its edge functions over one exactly-sized,
+   flattened pixel-centre grid covering the whole quad — both triangles
+   of a quad share that grid, and the diagonal edge is evaluated once
+   where the winding lets the two triangles share it.  Each edge
+   function is separable in x and y, so the full-grid work per edge is
+   one gather and one subtraction on contiguous arrays;
+3. texture coordinates are interpolated barycentrically at the covered
+   pixel centres and the spot profile is sampled for all of them at once;
+4. the deposits (tagged with their triangle's position in the reference
+   emission order) are stable-sorted back into that order and
+   scatter-added into the frame buffer with a single ``np.bincount`` (the
+   fast form of ``np.add.at``).
+
+Bit equivalence with the reference renderer is maintained deliberately,
+not approximately: every floating-point operation (edge functions,
+winding flip, barycentric weights, texture sampling, intensity multiply)
+uses the same operands in the same order as
+:func:`repro.raster.rasterize.rasterize_triangle`, the inclusive /
+exclusive shared-diagonal rule survives winding flips (the strict edge
+moves from the diagonal's index 2 to index 0, exactly as the reference
+remaps it), and the ordered ``bincount`` reproduces the reference's
+per-pixel accumulation order.  Into a cleared frame buffer the result is
+therefore *bitwise identical* (asserted by
+``tests/raster/test_batched.py``); when accumulating onto non-zero
+pixels the two paths may differ in the last rounding only, because the
+reference rounds after every triangle while the batch sums its deposits
+first.
+
+Degenerate (zero-area) triangles cover nothing in both paths.  Non-finite
+vertices make the reference path fail; the batched path drops such quads,
+the graceful-degradation behaviour the splat renderer already has.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import RasterError
+from repro.raster.framebuffer import FrameBuffer
+from repro.raster.texture import Texture
+
+#: Grid-pixel budget per internal pass; bounds scratch memory to a few
+#: tens of MB regardless of batch size.
+_CHUNK_PX = 1 << 20
+
+#: Bounding boxes are clipped to this pixel range before integer
+#: conversion so absurd (finite) coordinates cannot overflow int64.
+_COORD_LIMIT = float(1 << 40)
+
+#: Bounding-box dimensions up to this many pixels get their own bucket
+#: (an exactly-sized grid); larger ones share power-of-two buckets.
+_EXACT_DIM = 8
+
+# The reference splits each quad along the v0-v2 diagonal into triangles
+# (v0, v1, v2) and (v2, v3, v0), normalises each winding by swapping the
+# triangle's second and third vertices when its signed area is negative,
+# and rasterises with edge k running from vertex k to vertex k+1 — the
+# second triangle's diagonal (edge 2 unflipped, edge 0 after a flip)
+# tested strictly.  Each spec below is that post-flip triangle, per
+# winding combination ``flip1 * 2 + flip2``:
+#   (edges as directed quad-corner pairs, strict edge position or -1,
+#    uv corner order, area index)
+_TRI1_UNFLIPPED = (((0, 1), (1, 2), (2, 0)), -1, (0, 1, 2), 0)
+_TRI1_FLIPPED = (((0, 2), (2, 1), (1, 0)), -1, (0, 2, 1), 0)
+_TRI2_UNFLIPPED = (((2, 3), (3, 0), (0, 2)), 2, (2, 3, 0), 1)
+_TRI2_FLIPPED = (((2, 0), (0, 3), (3, 2)), 0, (2, 0, 3), 1)
+_COMBO_SPECS = (
+    (_TRI1_UNFLIPPED, _TRI2_UNFLIPPED),
+    (_TRI1_UNFLIPPED, _TRI2_FLIPPED),
+    (_TRI1_FLIPPED, _TRI2_UNFLIPPED),
+    (_TRI1_FLIPPED, _TRI2_FLIPPED),
+)
+
+
+def _dim_bucket_index(d: np.ndarray) -> np.ndarray:
+    """Bucket index of a grid dimension: exact up to ``_EXACT_DIM``, pow2 above."""
+    out = d.copy()
+    big = d > _EXACT_DIM
+    if big.any():
+        out[big] = _EXACT_DIM + np.ceil(np.log2(d[big])).astype(np.int64) - 3
+    return out
+
+
+def _bucket_dim(index: int) -> int:
+    """Inverse of :func:`_dim_bucket_index` for a single bucket."""
+    return index if index <= _EXACT_DIM else 1 << (index - _EXACT_DIM + 3)
+
+
+def _min4(c: np.ndarray) -> np.ndarray:
+    return np.minimum(np.minimum(c[0], c[1]), np.minimum(c[2], c[3]))
+
+
+def _max4(c: np.ndarray) -> np.ndarray:
+    return np.maximum(np.maximum(c[0], c[1]), np.maximum(c[2], c[3]))
+
+
+def rasterize_quads_batched(
+    fb: FrameBuffer,
+    quads: np.ndarray,
+    uvs: np.ndarray,
+    intensities: np.ndarray,
+    texture: Optional[Texture] = None,
+    chunk_px: int = _CHUNK_PX,
+) -> int:
+    """Rasterise a batch of textured quads; returns total pixels covered.
+
+    Drop-in replacement for
+    :func:`repro.raster.rasterize.rasterize_quads_exact` — same signature,
+    same pixels (see the module docstring for the equivalence guarantee) —
+    selected through ``SpotNoiseConfig.raster_backend``.
+
+    Parameters
+    ----------
+    quads, uvs:
+        ``(N, 4, 2)`` world vertices and texture coordinates.
+    intensities:
+        ``(N,)`` spot weights.
+    chunk_px:
+        Grid-pixel budget per internal pass (bounds scratch memory).
+    """
+    q = np.asarray(quads, dtype=np.float64)
+    t = np.asarray(uvs, dtype=np.float64)
+    a = np.asarray(intensities, dtype=np.float64)
+    if q.ndim != 3 or q.shape[1:] != (4, 2):
+        raise RasterError(f"quads must be (N, 4, 2), got {q.shape}")
+    if t.shape != q.shape:
+        raise RasterError(f"uvs must match quads shape {q.shape}, got {t.shape}")
+    if a.shape != (q.shape[0],):
+        raise RasterError(f"intensities must be ({q.shape[0]},), got {a.shape}")
+    if chunk_px < 1:
+        raise RasterError(f"chunk_px must be >= 1, got {chunk_px}")
+    n = q.shape[0]
+    if n == 0:
+        return 0
+
+    fbw, fbh = fb.width, fb.height
+    wx0, wx1, wy0, wy1 = fb.window
+    # World -> continuous pixel coordinates in corner-major layout
+    # (contiguous per corner): the same arithmetic, in the same order, as
+    # FrameBuffer.world_to_pixel.  One (8, n) matrix — rows 0-3 the
+    # corner x coordinates, rows 4-7 the y — so the bucketing permutation
+    # later is a single gather.
+    P = np.empty((8, n), dtype=np.float64)
+    np.subtract(q[:, :, 0].T, wx0, out=P[0:4])
+    P[0:4] /= (wx1 - wx0)
+    P[0:4] *= fbw
+    np.subtract(q[:, :, 1].T, wy0, out=P[4:8])
+    P[4:8] /= (wy1 - wy0)
+    P[4:8] *= fbh
+    gx = P[0:4]
+    gy = P[4:8]
+
+    # Signed double areas of both triangles, exactly as the reference
+    # computes them; their signs give the quad's winding combination.
+    # Non-finite vertices turn areas NaN/inf without warning spam — the
+    # validity filter below drops those quads deliberately.
+    with np.errstate(invalid="ignore"):
+        a1 = (gx[1] - gx[0]) * (gy[2] - gy[0]) - (gy[1] - gy[0]) * (gx[2] - gx[0])
+        a2 = (gx[3] - gx[2]) * (gy[0] - gy[2]) - (gy[3] - gy[2]) * (gx[0] - gx[2])
+    flip1 = a1 < 0.0
+    flip2 = a2 < 0.0
+    area1 = np.where(flip1, -a1, a1)
+    area2 = np.where(flip2, -a2, a2)
+
+    # Clipped integer bounding boxes of the whole quad (a superset of
+    # both triangles' reference boxes; pixels outside a triangle's own
+    # box fail its edge tests, so sharing the quad grid changes nothing).
+    # maximum(0, ...) lets truncation stand in for floor: they differ
+    # only on negative inputs, where both clamp to 0.  The ±_COORD_LIMIT
+    # clamp keeps the int64 conversion defined for absurd coordinates;
+    # NaN boxes cast to garbage but their quads are dropped below (NaN
+    # areas fail valid1 | valid2), so only the cast warning is silenced.
+    xmax = np.minimum(_max4(gx), _COORD_LIMIT)
+    ymax = np.minimum(_max4(gy), _COORD_LIMIT)
+    with np.errstate(invalid="ignore"):
+        ix0 = np.maximum(0, np.maximum(_min4(gx), -_COORD_LIMIT).astype(np.int64))
+        iy0 = np.maximum(0, np.maximum(_min4(gy), -_COORD_LIMIT).astype(np.int64))
+        ix1 = np.minimum(fbw, np.ceil(xmax).astype(np.int64))
+        iy1 = np.minimum(fbh, np.ceil(ymax).astype(np.int64))
+
+    # Zero-area triangles are skipped per triangle (the reference skips
+    # them individually, which matters for sliver quads), but any
+    # non-finite vertex poisons the *whole quad*: the two triangles
+    # share corners, a non-finite corner always surfaces as a NaN or
+    # infinite area, and an infinite area would otherwise slip past
+    # ``> 0`` and turn barycentric weights into NaN downstream.
+    finite = np.isfinite(area1) & np.isfinite(area2)
+    valid1 = (area1 > 0.0) & finite
+    valid2 = (area2 > 0.0) & finite
+    keep = (ix0 < ix1) & (iy0 < iy1) & (valid1 | valid2)
+    areas = (area1, area2)           # original quad order, gathered lazily
+    valid = (valid1, valid2)
+    any_invalid = not (valid1.all() and valid2.all())
+
+    bw = ix1 - ix0
+    bh = iy1 - iy0
+    # Bucket indices stay below 64 (pow2 buckets up to 2^40 pixels), so
+    # the composite key fits int16 — numpy stable-sorts 16-bit integers
+    # with a radix sort, making the bucketing pass O(n).
+    combo = flip1.astype(np.int64) * 2 + flip2
+    key = ((combo * 64 + _dim_bucket_index(bh)) * 64 + _dim_bucket_index(bw)).astype(
+        np.int16
+    )
+
+    # One stable integer sort buckets the quads; dropped quads are
+    # filtered out of the permutation rather than compressed separately.
+    order = np.argsort(key, kind="stable")
+    if not keep.all():
+        order = order[keep[order]]
+    m = order.shape[0]
+    if m == 0:
+        return 0
+
+    # Two packed gathers put the per-quad data in bucket order; areas and
+    # validity stay in original order and are gathered per deposit chunk.
+    P = np.take(P, order, axis=1)
+    gx = P[0:4]
+    gy = P[4:8]
+    I = np.empty((4, n), dtype=np.int32)
+    I[0], I[1], I[2], I[3] = ix0, iy0, bw, bh
+    I = np.take(I, order, axis=1)
+    ix0, iy0, bw, bh = I[0], I[1], I[2], I[3]
+    qidx = order  # original quad index, for uv / intensity / area gathers
+    key = key[order]
+
+    bounds = np.flatnonzero(np.diff(key)) + 1
+    segments = np.concatenate([[0], bounds, [m]])
+
+    covered = 0
+    dep_gid: List[np.ndarray] = []
+    dep_pix: List[np.ndarray] = []
+    dep_val: List[np.ndarray] = []
+    for s0, s1 in zip(segments[:-1], segments[1:]):
+        k = int(key[s0])
+        wc = _bucket_dim(k % 64)
+        hc = _bucket_dim((k // 64) % 64)
+        specs = _COMBO_SPECS[k // (64 * 64)]
+        padded = wc > _EXACT_DIM or hc > _EXACT_DIM
+        cell = hc * wc
+        row_of = np.arange(cell) // wc
+        col_of = np.arange(cell) - row_of * wc
+        # (iy0+row)*fbw + (ix0+col) decomposes exactly into a per-quad
+        # base plus a per-cell offset.
+        pix_of = row_of * fbw + col_of
+        step = max(1, chunk_px // cell)
+        for c0 in range(int(s0), int(s1), step):
+            c1 = min(c0 + step, int(s1))
+            sl = slice(c0, c1)
+            nc = c1 - c0
+
+            pad_mask = None
+            if padded:
+                pad_mask = (row_of[:, None] < bh[None, sl]) & (
+                    col_of[:, None] < bw[None, sl]
+                )
+
+            # Directed edge functions (bx-ax)*(py-ay) - (by-ay)*(px-ax)
+            # at the grid's pixel centres, evaluated lazily and shared
+            # between the two triangles where the winding allows.  The
+            # edge function is separable in x and y, so it decomposes
+            # into per-grid-row and per-grid-column terms; the arrays are
+            # laid out cell-major, (cell, nc), keeping every operation a
+            # contiguous 1-D pass over the chunk's quads.  (Deposit order
+            # *within* a triangle is free — no pixel repeats inside one
+            # triangle — so cell-major emission stays bit-equivalent.)
+            # Pixel-centre coordinate values, hoisted per chunk (shared by
+            # all edges); they match the reference's
+            # ``np.arange(ix0, ix1) + 0.5`` exactly.
+            pys = [(iy0[sl] + r) + 0.5 for r in range(hc)]
+            pxs = [(ix0[sl] + c) + 0.5 for c in range(wc)]
+            base = iy0[sl].astype(np.int64) * fbw + ix0[sl]
+            edge_cache: Dict[Tuple[int, int], np.ndarray] = {}
+
+            def edge(i: int, j: int) -> np.ndarray:
+                e = edge_cache.get((i, j))
+                if e is None:
+                    exi, eyi = gx[i, sl], gy[i, sl]
+                    dx = gx[j, sl] - exi
+                    dy = gy[j, sl] - eyi
+                    term_y = [dx * (py - eyi) for py in pys]
+                    term_x = [dy * (px - exi) for px in pxs]
+                    e = np.empty((cell, nc), dtype=np.float64)
+                    for p in range(cell):
+                        np.subtract(term_y[p // wc], term_x[p - (p // wc) * wc], out=e[p])
+                    edge_cache[(i, j)] = e
+                return e
+
+            for tri_side, (pairs, strict_pos, uv_corners, area_row) in enumerate(specs):
+                inside = None
+                for pos, (i, j) in enumerate(pairs):
+                    e = edge(i, j)
+                    mask = e > 0.0 if pos == strict_pos else e >= 0.0
+                    inside = mask if inside is None else (inside & mask)
+                if pad_mask is not None:
+                    inside &= pad_mask
+                if any_invalid:
+                    v_chunk = valid[area_row][qidx[sl]]
+                    if not v_chunk.all():
+                        inside &= v_chunk[None, :]
+
+                idx = np.flatnonzero(inside)
+                if idx.size == 0:
+                    continue
+                covered += int(idx.size)
+
+                cellpos = idx // nc
+                quad_l = idx - cellpos * nc
+                quad_g = quad_l + c0
+
+                quad = qidx[quad_g]
+                tri_area = areas[area_row][quad]
+                w0 = edge(*pairs[1]).ravel()[idx] / tri_area
+                w1 = edge(*pairs[2]).ravel()[idx] / tri_area
+                w2 = edge(*pairs[0]).ravel()[idx] / tri_area
+                if texture is None:
+                    val = a[quad]
+                else:
+                    u0, u1, u2 = uv_corners
+                    u = w0 * t[quad, u0, 0] + w1 * t[quad, u1, 0] + w2 * t[quad, u2, 0]
+                    vv = w0 * t[quad, u0, 1] + w1 * t[quad, u1, 1] + w2 * t[quad, u2, 1]
+                    val = a[quad] * texture.sample(u, vv)
+
+                dep_gid.append((2 * quad + tri_side).astype(np.int32))
+                dep_pix.append(base[quad_l] + pix_of[cellpos])
+                dep_val.append(val)
+
+    if covered:
+        g = dep_gid[0] if len(dep_gid) == 1 else np.concatenate(dep_gid)
+        p = dep_pix[0] if len(dep_pix) == 1 else np.concatenate(dep_pix)
+        v = dep_val[0] if len(dep_val) == 1 else np.concatenate(dep_val)
+        # Restore the reference emission order (quad 0 triangle 1, quad 0
+        # triangle 2, quad 1 triangle 1, ...), then one ordered
+        # scatter-add: bincount accumulates per pixel in deposit order,
+        # matching the reference's sequential accumulation exactly when
+        # the frame buffer starts cleared.
+        restore = np.argsort(g, kind="stable")
+        fb.data += np.bincount(
+            p[restore], weights=v[restore], minlength=fbh * fbw
+        ).reshape(fbh, fbw)
+    return covered

@@ -6,9 +6,12 @@ all pixel centres of its bounding box at once.  The shared diagonal uses
 complementary inclusive/exclusive rules so no pixel is covered twice —
 a requirement for the additive spot-noise blend to stay unbiased.
 
-This path is exact but per-quad; it is the reference renderer used for
-standard (4-vertex) spots and in tests.  The million-quad bent meshes go
-through :mod:`repro.raster.splat` instead.
+This path is exact but per-quad: it is the *reference oracle*.  The
+production implementation of the same scanline semantics is
+:mod:`repro.raster.batched`, which renders bit-identical pixels in
+vectorised batches (selected via ``SpotNoiseConfig.raster_backend``);
+the anti-aliased splatting alternative lives in
+:mod:`repro.raster.splat`.
 """
 
 from __future__ import annotations

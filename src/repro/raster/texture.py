@@ -45,12 +45,17 @@ class Texture:
             iy = np.clip((v * h).astype(np.int64), 0, h - 1)
             return self.data[iy, ix]
         # Bilinear with clamp-to-edge: texel centres at (i + 0.5) / w.
-        fx = np.clip(u * w - 0.5, 0.0, w - 1.0)
-        fy = np.clip(v * h - 0.5, 0.0, h - 1.0)
-        ix0 = np.floor(fx).astype(np.int64)
-        iy0 = np.floor(fy).astype(np.int64)
-        ix0 = np.clip(ix0, 0, w - 2) if w > 1 else np.zeros_like(ix0)
-        iy0 = np.clip(iy0, 0, h - 2) if h > 1 else np.zeros_like(iy0)
+        # minimum/maximum pairs are the cheap form of np.clip, and
+        # truncation equals floor once the range is clamped non-negative.
+        # NaN coordinates pass through the float clamp; the maximum(0)
+        # below bounds their garbage int cast back to texel 0, so they
+        # yield NaN output (not an IndexError), as np.clip used to.
+        fx = np.minimum(np.maximum(u * w - 0.5, 0.0), w - 1.0)
+        fy = np.minimum(np.maximum(v * h - 0.5, 0.0), h - 1.0)
+        ix0 = np.maximum(fx.astype(np.int64), 0)
+        iy0 = np.maximum(fy.astype(np.int64), 0)
+        ix0 = np.minimum(ix0, w - 2) if w > 1 else np.zeros_like(ix0)
+        iy0 = np.minimum(iy0, h - 2) if h > 1 else np.zeros_like(iy0)
         tx = fx - ix0
         ty = fy - iy0
         ix1 = np.minimum(ix0 + 1, w - 1)

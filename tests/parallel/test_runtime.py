@@ -110,6 +110,44 @@ class TestBackendEquivalence:
             get_backend("thread", max_workers=0)
 
 
+class TestRasterBackendEquivalence:
+    """exact-vs-batched scanline backends must agree bit for bit,
+    whatever the partition strategy or execution backend."""
+
+    EXACT = BASE.with_overrides(n_spots=120, render_mode="exact", raster_backend="exact")
+    BATCHED = BASE.with_overrides(n_spots=120, render_mode="exact", raster_backend="batched")
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize(
+        "partition,n_groups", [("round_robin", 3), ("block", 3), ("spatial", 4)]
+    )
+    def test_bitwise_identical_across_matrix(self, partition, n_groups, backend):
+        ps = make_particles(120, seed=11)
+        overrides = dict(
+            partition=partition, n_groups=n_groups, backend=backend, guard_px=16
+        )
+        ref, _ = synthesize(self.EXACT.with_overrides(**overrides), ps.copy())
+        out, _ = synthesize(self.BATCHED.with_overrides(**overrides), ps.copy())
+        np.testing.assert_array_equal(out, ref)
+
+    def test_bent_spots_bitwise_identical(self):
+        bent = SpotNoiseConfig(
+            n_spots=50,
+            texture_size=64,
+            spot_mode="bent",
+            render_mode="exact",
+            seed=13,
+        ).with_overrides(
+            bent=SpotNoiseConfig().bent.__class__(
+                n_along=6, n_across=3, length_cells=2.0, width_cells=0.8
+            )
+        )
+        ps = ParticleSet.uniform_random(50, FIELD.grid.bounds, seed=13)
+        ref, _ = synthesize(bent.with_overrides(raster_backend="exact"), ps.copy())
+        out, _ = synthesize(bent.with_overrides(raster_backend="batched"), ps.copy())
+        np.testing.assert_array_equal(out, ref)
+
+
 class TestGuardValidation:
     def test_insufficient_guard_rejected(self):
         # Huge spots cannot fit a tiny guard band.
