@@ -30,6 +30,10 @@ MAX_REGRESSION = 2.0
 #: margin absorbs CI noise while still catching any devectorisation).
 MIN_REFERENCE_SPEEDUP = 25.0
 
+#: Floor for the serving-layer speedup on a repeated-request trace
+#: (typically 10-100x; the acceptance criterion is 5x).
+MIN_SERVING_SPEEDUP = 5.0
+
 
 def _calibrate() -> float:
     """Seconds for a fixed numpy workload shaped like the hot path."""
@@ -88,4 +92,57 @@ def test_smoke_throughput_regression():
         f"budget is {allowed * 1e3:.1f} ms (baseline "
         f"{baseline['atmospheric4_batched_s'] * 1e3:.1f} ms x host factor "
         f"{host_factor:.2f} x {MAX_REGRESSION}) — >2x throughput regression"
+    )
+
+
+def test_smoke_serving_cache():
+    """Repeated-request serving scenario: the acceptance workload of the
+    serving subsystem (Zipf over 32 frames, 4 concurrent clients) must
+    stay >= 5x faster than the no-cache path, render each distinct frame
+    exactly once, and serve bytes identical to fresh renders.  Both sides
+    of the ratio run on this host, so the check is host-independent.
+    """
+    from repro.core.config import SpotNoiseConfig
+    from repro.fields.analytic import random_smooth_field
+    from repro.service import (
+        FrameRenderer,
+        TextureService,
+        replay,
+        replay_uncached,
+        zipf_trace,
+    )
+
+    n_frames = 32
+    fields = {f: random_smooth_field(seed=300 + f, n=33) for f in range(n_frames)}
+    config = SpotNoiseConfig(n_spots=400, texture_size=96, seed=9)
+    trace = zipf_trace(256, n_frames, seed=4)
+    distinct = len(set(trace))
+
+    renderer = FrameRenderer(config)
+    with TextureService(
+        lambda f: fields[f], config, n_workers=2, memoize_digests=True
+    ) as service:
+        cached = replay(
+            service,
+            trace,
+            n_clients=4,
+            verify_fresh=lambda f: renderer.render(fields[f]),
+        )
+    assert cached.bit_identical, "served textures differ from fresh renders"
+    assert cached.renders <= distinct, (
+        f"{cached.renders} renders for {distinct} distinct frames — "
+        "duplicate requests are not being coalesced/cached"
+    )
+
+    baseline_trace = trace[:48]
+    baseline = replay_uncached(
+        lambda f: renderer.render(fields[f]), baseline_trace, n_clients=4
+    )
+    renderer.close()
+
+    speedup = cached.throughput_rps / baseline.throughput_rps
+    assert speedup >= MIN_SERVING_SPEEDUP, (
+        f"serving layer is only {speedup:.1f}x the no-cache path "
+        f"(floor {MIN_SERVING_SPEEDUP}x; cached {cached.throughput_rps:.0f} req/s, "
+        f"uncached {baseline.throughput_rps:.0f} req/s) — the cache has regressed"
     )

@@ -24,6 +24,7 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.machine` — calibrated Onyx2 performance model (Tables 1-2)
 - :mod:`repro.parallel` — divide-and-conquer runtime and backends
 - :mod:`repro.core` — the four-stage pipeline and public API
+- :mod:`repro.service` — cache-backed, request-coalescing texture serving
 - :mod:`repro.apps` — smog steering and DNS browsing applications
 - :mod:`repro.baselines` — arrow plots, streamlines, LIC, sequential
 - :mod:`repro.viz` — colormaps, overlays, image IO, texture statistics
@@ -31,12 +32,13 @@ Package map (see DESIGN.md for the full inventory):
 
 from repro.core.config import SpotNoiseConfig, BentConfig
 from repro.core.pipeline import SpotNoisePipeline, FrameResult
-from repro.core.synthesizer import SpotNoiseSynthesizer
+from repro.core.synthesizer import SpotNoiseSynthesizer, render_frame
 from repro.core.animation import AnimationLoop
 from repro.core.steering import SteeringSession
 from repro.errors import ReproError
+from repro.service.server import TextureService
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SpotNoiseConfig",
@@ -44,8 +46,10 @@ __all__ = [
     "SpotNoisePipeline",
     "FrameResult",
     "SpotNoiseSynthesizer",
+    "render_frame",
     "AnimationLoop",
     "SteeringSession",
+    "TextureService",
     "ReproError",
     "__version__",
 ]

@@ -97,3 +97,18 @@ class DataBrowser:
         field = self.store.read(index)
         scalar = self.mapping.derive(field)
         return field if scalar is None else (field, scalar)
+
+    def texture_service(self, config, **kwargs):
+        """A :class:`~repro.service.server.TextureService` over this store.
+
+        Many browsers (or many users of one browser) scrubbing the same
+        database repeat the same frames constantly; serving the flow
+        textures through the cache-and-coalesce layer renders each
+        distinct slice once.  Store frames are immutable once flushed,
+        so digests are memoised.  The service serves the grayscale spot
+        noise texture only — scalar drapes stay per-client (they are a
+        cheap colormap pass over the served texture).
+        """
+        from repro.service.server import TextureService
+
+        return TextureService.for_store(self.store, config, **kwargs)

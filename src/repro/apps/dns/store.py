@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from typing import Iterator, List, Optional
 
 import numpy as np
@@ -54,6 +55,10 @@ class ChunkedFieldStore:
         self._pending_times: List[float] = []
         self._cache_index: Optional[int] = None
         self._cache_data: Optional[np.ndarray] = None
+        # The chunk cache is read from texture-service worker threads
+        # (TextureService.for_store); guard the check-then-set so a race
+        # can never pair one chunk's index with another chunk's data.
+        self._cache_lock = threading.Lock()
 
     # -- creation ----------------------------------------------------------------
     @classmethod
@@ -120,8 +125,9 @@ class ChunkedFieldStore:
         self._pending.clear()
         self._pending_times.clear()
         # Invalidate the cache in case this chunk was read while partial.
-        self._cache_index = None
-        self._cache_data = None
+        with self._cache_lock:
+            self._cache_index = None
+            self._cache_data = None
 
     def _write_meta(self) -> None:
         meta = {
@@ -142,15 +148,17 @@ class ChunkedFieldStore:
         return self.n_frames
 
     def _load_chunk(self, chunk_index: int) -> np.ndarray:
-        if self._cache_index == chunk_index and self._cache_data is not None:
-            return self._cache_data
+        with self._cache_lock:
+            if self._cache_index == chunk_index and self._cache_data is not None:
+                return self._cache_data
         path = self._chunk_path(chunk_index)
         if not os.path.exists(path):
             raise StoreError(f"missing chunk file {path} (unflushed frames?)")
         with np.load(path) as archive:
             data = archive["frames"]
-        self._cache_index = chunk_index
-        self._cache_data = data
+        with self._cache_lock:
+            self._cache_index = chunk_index
+            self._cache_data = data
         return data
 
     def read(self, frame: int) -> VectorField2D:

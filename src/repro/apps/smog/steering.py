@@ -10,7 +10,8 @@ whose O3 field is draped over the texture (figure 6).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from collections import deque
+from typing import Deque, Optional, Tuple
 
 import numpy as np
 
@@ -19,6 +20,7 @@ from repro.apps.smog.geography import europe_like_landmass, random_land_points
 from repro.apps.smog.meteo import SyntheticMeteorology
 from repro.apps.smog.model import SmogModel, SmogModelConfig
 from repro.core.steering import SteeringSession
+from repro.errors import SteeringError
 from repro.fields.grid import RegularGrid
 from repro.fields.scalarfield import ScalarField2D
 from repro.fields.vectorfield import VectorField2D
@@ -36,6 +38,11 @@ class SteeredSmogApplication:
         Emission point sources, sited on land.
     seed:
         Determinism for geography, meteorology and source placement.
+    history_limit:
+        Wind frames retained for :meth:`read_history` /
+        :meth:`texture_service`.  Bounded so a long-running steering
+        session cannot grow without limit; the oldest frames are
+        evicted first.
     """
 
     def __init__(
@@ -45,6 +52,7 @@ class SteeredSmogApplication:
         n_sources: int = 6,
         seed: int = 1997,
         model_config: Optional[SmogModelConfig] = None,
+        history_limit: int = 256,
     ):
         self.grid = RegularGrid(nx, ny, (0.0, float(nx), 0.0, float(ny)))
         rng = as_rng(seed)
@@ -69,6 +77,13 @@ class SteeredSmogApplication:
         )
         self.session.on_change(self._apply)
         self._deposition_boost = 1.0
+        if history_limit < 1:
+            raise SteeringError(f"history_limit must be >= 1, got {history_limit}")
+        #: Wind fields of recent steps — the steering loop's served
+        #: history (dashboards re-request recent frames).  Bounded:
+        #: ``wind_history[0]`` is absolute frame ``_history_offset``.
+        self.wind_history: Deque[VectorField2D] = deque(maxlen=history_limit)
+        self._history_offset = 0
 
     # -- steering plumbing ---------------------------------------------------
     def _apply(self, name: str, value: float) -> None:
@@ -103,8 +118,44 @@ class SteeredSmogApplication:
         pollutant = self.model.step(wind, self.dt)
         self.frame += 1
         self.session.tick()
+        if len(self.wind_history) == self.wind_history.maxlen:
+            self._history_offset += 1  # deque drops the oldest frame
+        self.wind_history.append(wind)
         return wind, pollutant
 
     def frame_source(self, t: int) -> Tuple[VectorField2D, ScalarField2D]:
         """Adapter for :class:`~repro.core.animation.AnimationLoop`."""
         return self.advance()
+
+    def read_history(self, frame: int) -> VectorField2D:
+        """The wind field of a past simulation step (a served frame).
+
+        *frame* is the absolute step index; frames older than
+        ``history_limit`` steps have been evicted.
+        """
+        end = self._history_offset + len(self.wind_history)
+        if frame < self._history_offset:
+            raise SteeringError(
+                f"frame {frame} evicted from the bounded history "
+                f"(oldest retained frame is {self._history_offset})"
+            )
+        if not (frame < end):
+            raise SteeringError(
+                f"frame {frame} not in the recorded history "
+                f"[{self._history_offset}, {end})"
+            )
+        return self.wind_history[frame - self._history_offset]
+
+    def texture_service(self, config, **kwargs):
+        """A :class:`~repro.service.server.TextureService` over the history.
+
+        The first in-repo steering client of the serving layer: many
+        dashboard views re-requesting recent smog frames hit the cache
+        instead of re-rendering, and concurrent duplicates coalesce.
+        Recorded wind fields are immutable (each :meth:`advance` appends
+        a new one), so digest memoisation is safe and stays on.
+        """
+        from repro.service.server import TextureService
+
+        kwargs.setdefault("memoize_digests", True)
+        return TextureService(self.read_history, config, **kwargs)

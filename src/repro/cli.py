@@ -1,13 +1,17 @@
 """Command-line interface.
 
-Three subcommands expose the reproduction's headline artefacts without
+Four subcommands expose the reproduction's headline artefacts without
 writing any code:
 
 * ``tables`` — regenerate Tables 1 and 2 from the machine model;
 * ``predict`` — model textures/second for a chosen workstation shape and
   workload, including the interactive frame-rate budget of section 2;
 * ``render`` — synthesise a spot noise texture of a built-in analytic
-  field and write it as a PGM image.
+  field and write it as a PGM image;
+* ``serve-bench`` — replay a recorded request trace (uniform, Zipf or
+  scrubbing) against the texture serving subsystem and report cache hit
+  rate, coalesce rate, latency percentiles and the speedup over the
+  no-cache path.
 
 Installed as ``repro-spotnoise`` (or run ``python -m repro.cli``).
 """
@@ -95,6 +99,113 @@ def _cmd_render(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    # Imports deferred: the serving stack pulls in the whole pipeline.
+    from repro.core.config import SpotNoiseConfig
+    from repro.fields.analytic import random_smooth_field
+    from repro.service import (
+        FrameRenderer,
+        TextureService,
+        replay,
+        replay_uncached,
+        scrubbing_trace,
+        uniform_trace,
+        zipf_trace,
+    )
+
+    config = SpotNoiseConfig(
+        n_spots=args.spots,
+        texture_size=args.size,
+        spot_mode="standard",
+        seed=args.seed,
+    )
+
+    if args.store:
+        from repro.apps.dns.store import ChunkedFieldStore
+
+        store = ChunkedFieldStore(args.store)
+        n_frames = min(args.frames, len(store)) or len(store)
+        source = store.read
+        source_label = f"store {args.store} ({len(store)} frames)"
+    else:
+        n_frames = args.frames
+        field_cache = {}
+
+        def source(frame: int):
+            if frame not in field_cache:
+                field_cache[frame] = random_smooth_field(
+                    seed=args.seed + 1000 + frame, n=args.grid
+                )
+            return field_cache[frame]
+
+        source_label = f"analytic random fields ({n_frames} frames, n={args.grid})"
+
+    makers = {
+        "uniform": lambda: uniform_trace(args.requests, n_frames, seed=args.seed),
+        "zipf": lambda: zipf_trace(
+            args.requests, n_frames, exponent=args.zipf_exponent, seed=args.seed
+        ),
+        "scrub": lambda: scrubbing_trace(args.requests, n_frames, seed=args.seed),
+    }
+    trace = makers[args.trace]()
+    distinct = len(set(trace))
+
+    print(f"serve-bench: {args.trace} trace, {args.requests} requests over "
+          f"{n_frames} frames ({distinct} distinct), {args.clients} clients")
+    print(f"source: {source_label}; config: {config.n_spots} spots, "
+          f"{config.texture_size}px, workers {args.workers}")
+
+    verify_renderer = FrameRenderer(config) if args.verify else None
+    with TextureService(
+        source,
+        config,
+        n_workers=args.workers,
+        memory_budget_bytes=args.mem_mb << 20,
+        disk_dir=args.disk or None,
+        memoize_digests=True,  # both bench sources are immutable per frame
+    ) as service:
+        result = replay(
+            service,
+            trace,
+            n_clients=args.clients,
+            verify_fresh=(lambda f: verify_renderer.render(source(f)))
+            if verify_renderer is not None
+            else None,
+        )
+        report = service.stats.report()
+    if verify_renderer is not None:
+        verify_renderer.close()
+
+    print()
+    print(report)
+    print()
+    print(f"cached path:   {result.throughput_rps:8.1f} req/s "
+          f"({result.duration_s * 1e3:.0f} ms wall), {result.renders} renders "
+          f"for {distinct} distinct frames")
+    if args.verify:
+        print(f"bit-identical to fresh renders: {'yes' if result.bit_identical else 'NO'}")
+
+    baseline_n = min(len(trace), args.baseline_requests)
+    baseline_renderer = FrameRenderer(config)
+    baseline = replay_uncached(
+        lambda f: baseline_renderer.render(source(f)),
+        trace[:baseline_n],
+        n_clients=args.clients,
+    )
+    baseline_renderer.close()
+    print(f"no-cache path: {baseline.throughput_rps:8.1f} req/s "
+          f"(measured on the first {baseline_n} requests)")
+    speedup = (
+        result.throughput_rps / baseline.throughput_rps
+        if baseline.throughput_rps
+        else float("inf")
+    )
+    print(f"speedup: {speedup:.1f}x")
+    if args.verify and not result.bit_identical:
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-spotnoise",
@@ -136,6 +247,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_render.add_argument("--output", "-o", default="spotnoise.pgm")
     p_render.set_defaults(fn=_cmd_render)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="replay a request trace against the texture serving subsystem",
+    )
+    p_serve.add_argument(
+        "--trace", choices=("uniform", "zipf", "scrub"), default="zipf",
+        help="request arrival pattern over the frame range",
+    )
+    p_serve.add_argument("--requests", "-n", type=int, default=256)
+    p_serve.add_argument("--frames", type=int, default=32, help="distinct frame range")
+    p_serve.add_argument("--clients", "-c", type=int, default=4,
+                         help="concurrent client threads")
+    p_serve.add_argument("--workers", type=int, default=2, help="render workers")
+    p_serve.add_argument("--spots", type=int, default=800)
+    p_serve.add_argument("--size", type=int, default=128, help="texture size (px)")
+    p_serve.add_argument("--grid", type=int, default=48, help="analytic field grid n")
+    p_serve.add_argument("--mem-mb", type=int, default=64, help="memory tier budget")
+    p_serve.add_argument("--disk", default="", help="optional disk cache directory")
+    p_serve.add_argument("--store", default="",
+                         help="serve frames from a ChunkedFieldStore directory "
+                              "instead of analytic fields")
+    p_serve.add_argument("--zipf-exponent", type=float, default=1.1)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--baseline-requests", type=int, default=64,
+                         help="trace prefix length timed on the no-cache path")
+    p_serve.add_argument("--no-verify", dest="verify", action="store_false",
+                         help="skip the cached-vs-fresh bit-identity check")
+    p_serve.set_defaults(fn=_cmd_serve_bench, verify=True)
 
     return parser
 

@@ -9,6 +9,7 @@ pickle into worker processes.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Literal, Optional
 
@@ -189,6 +190,28 @@ class SpotNoiseConfig:
 
     def with_overrides(self, **overrides) -> "SpotNoiseConfig":
         return replace(self, **overrides)
+
+    def fingerprint(self) -> str:
+        """Stable SHA-256 digest of every configuration field.
+
+        Two configs fingerprint equal iff they are equal, so the digest
+        can stand in for the config in content-addressed cache keys
+        (:mod:`repro.service`).  All fields participate — including
+        execution-shape knobs like ``raster_backend``, ``backend`` and
+        ``partition`` whose outputs are proven bit-identical by the
+        equivalence tests: keying conservatively on them can only cause
+        an extra render, never a wrong cache hit.
+        """
+        parts = []
+        for name in sorted(self.__dataclass_fields__):
+            value = getattr(self, name)
+            if isinstance(value, BentConfig):
+                value = ";".join(
+                    f"{k}={getattr(value, k)!r}"
+                    for k in sorted(value.__dataclass_fields__)
+                )
+            parts.append(f"{name}={value!r}")
+        return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
 
     def vertices_per_spot(self) -> int:
         if self.spot_mode == "bent":

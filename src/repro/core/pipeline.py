@@ -58,6 +58,12 @@ class SpotNoisePipeline:
     policy:
         Particle life-cycle policy; default advects with respawn at the
         domain boundary.
+    runtime:
+        Optional pre-built :class:`DivideAndConquerRuntime` to render
+        with.  The pipeline does *not* take ownership: :meth:`close`
+        leaves an injected runtime (and its pooled backend) alive, which
+        is how the serving layer amortises worker pools across many
+        short-lived pipelines.
     """
 
     def __init__(
@@ -66,6 +72,7 @@ class SpotNoisePipeline:
         field: VectorField2D,
         policy: Optional[LifeCyclePolicy] = None,
         dt: Optional[float] = None,
+        runtime: Optional[DivideAndConquerRuntime] = None,
     ):
         self.config = config
         self.field = field
@@ -80,12 +87,14 @@ class SpotNoisePipeline:
             intensities = signed_intensities(config.n_spots, config.intensity, self.rng)
             self.particles = ParticleSet(positions, intensities)
         self.advector = Advector(field, dt=dt, policy=self.policy, seed=self.rng)
-        self.runtime = DivideAndConquerRuntime(config)
+        self.runtime = runtime or DivideAndConquerRuntime(config)
+        self._owns_runtime = runtime is None
         self.timer = StageTimer()
         self.frame_index = 0
 
     def close(self) -> None:
-        self.runtime.close()
+        if self._owns_runtime:
+            self.runtime.close()
 
     def __enter__(self) -> "SpotNoisePipeline":
         return self

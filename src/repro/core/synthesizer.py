@@ -21,6 +21,7 @@ from repro.machine.costs import CostModel
 from repro.machine.schedule import TimingResult, simulate_texture
 from repro.machine.workload import SpotWorkload
 from repro.machine.workstation import WorkstationConfig
+from repro.parallel.runtime import DivideAndConquerRuntime
 
 
 #: Grid shape assumed by :func:`workload_from_config` when no field is
@@ -31,18 +32,26 @@ DEFAULT_WORKLOAD_GRID_SHAPE = (64, 64)
 
 
 def workload_from_config(
-    config: SpotNoiseConfig, field: Optional[VectorField2D] = None
+    config: SpotNoiseConfig,
+    field: Optional[VectorField2D] = None,
+    grid_shape: "Optional[tuple[int, int]]" = None,
 ) -> SpotWorkload:
     """Translate a synthesis configuration into a machine-model workload.
 
     Pixel coverage per spot is estimated from the spot geometry and grid
     resolution (the same arithmetic the workload constructors use for the
-    paper's two applications).  Without a *field* the documented default
-    grid :data:`DEFAULT_WORKLOAD_GRID_SHAPE` is assumed throughout — it
-    feeds both the per-spot coverage estimate and the workload's
+    paper's two applications).  The grid comes from *field* when given,
+    else from an explicit ``(ny, nx)`` *grid_shape* (the serving layer's
+    latency predictor knows the shape without loading data), else from
+    the documented default :data:`DEFAULT_WORKLOAD_GRID_SHAPE` — in every
+    case it feeds both the per-spot coverage estimate and the workload's
     ``grid_shape``, so machine-model predictions stay self-consistent.
     """
-    grid_shape = tuple(field.grid.shape) if field is not None else DEFAULT_WORKLOAD_GRID_SHAPE
+    if field is not None:
+        grid_shape = tuple(field.grid.shape)
+    elif grid_shape is None:
+        grid_shape = DEFAULT_WORKLOAD_GRID_SHAPE
+    grid_shape = (int(grid_shape[0]), int(grid_shape[1]))
     nx = grid_shape[1]
     if config.spot_mode == "bent":
         b = config.bent
@@ -60,6 +69,29 @@ def workload_from_config(
         texture_size=config.texture_size,
         grid_shape=grid_shape,
     )
+
+
+def render_frame(
+    config: SpotNoiseConfig,
+    field: VectorField2D,
+    policy: Optional[LifeCyclePolicy] = None,
+    runtime: Optional[DivideAndConquerRuntime] = None,
+) -> FrameResult:
+    """Render one texture as a pure function of ``(config, field)``.
+
+    A fresh pipeline is built (so the particle population is re-seeded
+    from ``config.seed``), stepped exactly once and torn down; repeated
+    calls with equal arguments therefore produce bit-identical frames —
+    the determinism contract the serving cache (:mod:`repro.service`)
+    depends on.  Pass a *runtime* built for the same *config* to reuse
+    its pooled execution backend across calls; an injected runtime is
+    left open.
+    """
+    pipe = SpotNoisePipeline(config, field, policy=policy, runtime=runtime)
+    try:
+        return pipe.step()
+    finally:
+        pipe.close()
 
 
 class SpotNoiseSynthesizer:

@@ -53,6 +53,14 @@ class PipelineError(ReproError):
     """Spot noise pipeline mis-configuration."""
 
 
+class ServiceError(ReproError):
+    """Texture serving subsystem failure (cache, scheduler, replay)."""
+
+
+class AdmissionError(ServiceError):
+    """Request rejected by the serving layer's admission control."""
+
+
 class ApplicationError(ReproError):
     """Error in one of the driving applications (smog, DNS)."""
 

@@ -7,6 +7,7 @@ which builds on these primitives.
 
 from __future__ import annotations
 
+import hashlib
 import os
 from typing import Union
 
@@ -71,10 +72,44 @@ def load_field(path: Union[str, os.PathLike]) -> Union[VectorField2D, ScalarFiel
                 raise FieldError(f"unknown grid type {grid_type!r} in {path}")
         except KeyError as exc:
             raise FieldError(f"{path} is not a repro field file (missing {exc})") from exc
-    if version != _FORMAT_VERSION:
-        raise FieldError(f"unsupported field format version {version}")
+    if version > _FORMAT_VERSION:
+        raise FieldError(
+            f"{path} uses field format version {version}, newer than the "
+            f"latest supported version {_FORMAT_VERSION}; upgrade repro to read it"
+        )
+    if version < 1:
+        raise FieldError(f"invalid field format version {version} in {path}")
     if kind == "vector":
         return VectorField2D(grid, data, boundary)  # type: ignore[arg-type]
     if kind == "scalar":
         return ScalarField2D(grid, data, boundary)  # type: ignore[arg-type]
     raise FieldError(f"unknown field kind {kind!r} in {path}")
+
+
+def field_digest(field: Union[VectorField2D, ScalarField2D]) -> str:
+    """Stable SHA-256 content digest of a field (grid + data + boundary).
+
+    Two fields digest equal iff they would sample identically: same kind,
+    same grid geometry, same boundary mode and bit-identical data.  The
+    serving layer (:mod:`repro.service`) uses this as the data half of its
+    content-addressed request keys, so the digest must not depend on
+    incidental array properties (dtype width, memory layout) — data is
+    canonicalised to C-ordered float64 before hashing.
+    """
+    h = hashlib.sha256()
+    kind = "vector" if isinstance(field, VectorField2D) else "scalar"
+    h.update(kind.encode("ascii") + b"\x00")
+    h.update(str(field.boundary).encode("ascii") + b"\x00")
+    grid = field.grid
+    if isinstance(grid, RegularGrid):
+        h.update(b"regular\x00")
+        h.update(np.asarray([grid.nx, grid.ny], dtype=np.int64).tobytes())
+        h.update(np.asarray(grid.bounds, dtype=np.float64).tobytes())
+    elif isinstance(grid, RectilinearGrid):
+        h.update(b"rectilinear\x00")
+        h.update(np.ascontiguousarray(grid.x, dtype=np.float64).tobytes())
+        h.update(np.ascontiguousarray(grid.y, dtype=np.float64).tobytes())
+    else:  # pragma: no cover - defensive
+        raise FieldError(f"unsupported grid type {type(grid).__name__}")
+    h.update(np.ascontiguousarray(field.data, dtype=np.float64).tobytes())
+    return h.hexdigest()

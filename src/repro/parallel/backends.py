@@ -15,7 +15,12 @@ The pooled backends (thread and process) keep their worker pools alive
 across :meth:`~ExecutionBackend.run` calls so animation frames amortise
 worker start-up, and discard a process pool whose ``map`` failed — a
 worker that died mid-task leaves the pool unusable, and keeping it would
-fail every subsequent frame.
+fail every subsequent frame.  The texture service drives one shared
+backend from several scheduler worker threads, so a pooled backend's
+``run`` executes under its pool lock: concurrent calls serialise (the
+pool *is* the parallelism — overlapping two maps on one pool buys
+nothing) and can never race a resize or teardown.  The serial backend
+is stateless and fully reentrant.
 
 All backends must return results in group order and produce *identical*
 numerical output — asserted by the backend-equivalence tests, since spot
@@ -25,6 +30,7 @@ independence (section 3) is exactly what makes that possible.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Sequence, Type
 
@@ -76,11 +82,14 @@ class ThreadBackend(ExecutionBackend):
         self.max_workers = max_workers
         self._pool: "ThreadPoolExecutor | None" = None
         self._pool_size = 0
+        self._pool_lock = threading.Lock()
 
-    def _ensure_pool(self, n: int) -> ThreadPoolExecutor:
+    def _ensure_pool_locked(self, n: int) -> ThreadPoolExecutor:
         size = self.max_workers or n
         if self._pool is not None and self._pool_size < size:
-            self.close()
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_size = 0
         if self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=size)
             self._pool_size = size
@@ -89,14 +98,16 @@ class ThreadBackend(ExecutionBackend):
     def run(self, tasks: Sequence[GroupTask]) -> List[GroupResult]:
         if not tasks:
             return []
-        pool = self._ensure_pool(len(tasks))
-        return list(pool.map(render_group, tasks))
+        with self._pool_lock:
+            pool = self._ensure_pool_locked(len(tasks))
+            return list(pool.map(render_group, tasks))
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-            self._pool_size = 0
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+                self._pool_size = 0
 
 
 class ProcessBackend(ExecutionBackend):
@@ -116,11 +127,15 @@ class ProcessBackend(ExecutionBackend):
         self.max_workers = max_workers
         self._pool: "multiprocessing.pool.Pool | None" = None
         self._pool_size = 0
+        self._pool_lock = threading.Lock()
 
-    def _ensure_pool(self, n: int) -> "multiprocessing.pool.Pool":
+    def _ensure_pool_locked(self, n: int) -> "multiprocessing.pool.Pool":
         size = self.max_workers or n
         if self._pool is not None and self._pool_size < size:
-            self.close()
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+            self._pool_size = 0
         if self._pool is None:
             try:
                 ctx = multiprocessing.get_context("fork")
@@ -133,30 +148,27 @@ class ProcessBackend(ExecutionBackend):
     def run(self, tasks: Sequence[GroupTask]) -> List[GroupResult]:
         if not tasks:
             return []
-        pool = self._ensure_pool(len(tasks))
-        try:
-            return pool.map(render_group, tasks)
-        except Exception as exc:
-            # The pool may be unusable after a failed map (dead workers,
-            # half-drained queues); discard it so the next frame gets a
-            # fresh one instead of failing forever.
-            self._discard_pool()
-            raise BackendError(f"process backend failed: {exc}") from exc
-
-    def _discard_pool(self) -> None:
-        """Tear down a possibly-broken pool without waiting on its tasks."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-            self._pool_size = 0
+        with self._pool_lock:
+            pool = self._ensure_pool_locked(len(tasks))
+            try:
+                return pool.map(render_group, tasks)
+            except Exception as exc:
+                # The pool may be unusable after a failed map (dead
+                # workers, half-drained queues); discard it so the next
+                # frame gets a fresh one instead of failing forever.
+                pool.terminate()
+                pool.join()
+                self._pool = None
+                self._pool_size = 0
+                raise BackendError(f"process backend failed: {exc}") from exc
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
-            self._pool_size = 0
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.close()
+                self._pool.join()
+                self._pool = None
+                self._pool_size = 0
 
 
 _BACKENDS: Dict[str, Type[ExecutionBackend]] = {

@@ -1,0 +1,64 @@
+"""repro.service — request-coalescing, cache-backed texture serving.
+
+The paper makes one texture fast; this subsystem makes *traffic* fast.
+Real visualization load (many users scrubbing the same DNS slices,
+dashboards re-pulling the same smog frames) is dominated by repeated and
+concurrent-duplicate requests, so the biggest multiplier after the
+renderer itself is not rendering at all:
+
+* :mod:`~repro.service.keys` — content-addressed request keys (field
+  digest + config fingerprint), so identical work is identical bytes;
+* :mod:`~repro.service.cache` — in-memory LRU under a byte budget over
+  an atomic content-addressed disk tier;
+* :mod:`~repro.service.scheduler` — single-flight coalescing of
+  concurrent duplicates over a render worker pool;
+* :mod:`~repro.service.admission` — cost-model latency prediction and
+  load shedding;
+* :mod:`~repro.service.stats` — hit rate, coalesce rate, queue depth,
+  latency percentiles;
+* :mod:`~repro.service.server` — :class:`TextureService`, the front
+  end binding a field source to one config;
+* :mod:`~repro.service.trace` — uniform/Zipf/scrubbing request traces
+  and the replay harness behind ``repro.cli serve-bench``.
+
+Every future scaling layer (sharding, multi-process serving, an HTTP
+front end) plugs in above :class:`TextureService`.
+"""
+
+from repro.service.admission import AdmissionController, LatencyPredictor
+from repro.service.cache import DiskTextureCache, LRUTextureCache, TieredTextureCache
+from repro.service.keys import RequestKey, TileSpec, request_key
+from repro.service.scheduler import RenderTicket, RequestScheduler
+from repro.service.server import FrameRenderer, TextureResponse, TextureService
+from repro.service.stats import ServiceStats
+from repro.service.trace import (
+    ReplayResult,
+    replay,
+    replay_uncached,
+    scrubbing_trace,
+    uniform_trace,
+    zipf_trace,
+)
+
+__all__ = [
+    "AdmissionController",
+    "LatencyPredictor",
+    "DiskTextureCache",
+    "LRUTextureCache",
+    "TieredTextureCache",
+    "RequestKey",
+    "TileSpec",
+    "request_key",
+    "RenderTicket",
+    "RequestScheduler",
+    "FrameRenderer",
+    "TextureResponse",
+    "TextureService",
+    "ServiceStats",
+    "ReplayResult",
+    "replay",
+    "replay_uncached",
+    "scrubbing_trace",
+    "uniform_trace",
+    "zipf_trace",
+]

@@ -1,0 +1,137 @@
+"""Admission control and latency prediction.
+
+The machine model already knows how expensive a texture is — the same
+per-unit costs that reproduce Tables 1 and 2 price a request here.
+:class:`LatencyPredictor` turns a config + grid shape into a closed-form
+cost estimate via :func:`repro.core.synthesizer.workload_from_config`
+and the :class:`~repro.machine.costs.CostModel` helpers, then calibrates
+an EWMA scale factor from observed render times (the absolute 1997
+constants are decades from this host, but the *structure* — spots,
+vertices, pixels — transfers; one scalar bridges the hardware gap).
+
+:class:`AdmissionController` uses the prediction to shed load: when the
+predicted wait (queued renders ahead plus this one) exceeds the latency
+budget, or the queue is full, the request is rejected with
+:class:`~repro.errors.AdmissionError` instead of silently degrading
+every client behind it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Tuple
+
+from repro.core.config import SpotNoiseConfig
+from repro.core.synthesizer import workload_from_config
+from repro.errors import AdmissionError, ServiceError
+from repro.fields.vectorfield import VectorField2D
+from repro.machine.costs import CostModel
+from repro.machine.workload import SpotWorkload
+
+
+class LatencyPredictor:
+    """Predicts per-render seconds and learns a host calibration online."""
+
+    def __init__(self, costs: Optional[CostModel] = None, alpha: float = 0.3):
+        if not (0.0 < alpha <= 1.0):
+            raise ServiceError(f"alpha must be in (0, 1], got {alpha}")
+        self.costs = costs or CostModel.onyx2()
+        self.alpha = alpha
+        self._scale: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def _raw_estimate(self, workload: SpotWorkload) -> float:
+        """Uncalibrated seconds: serial sum of the cost-model stages."""
+        c = self.costs
+        return (
+            c.shape_time(workload.n_spots, workload.total_vertices)
+            + c.feed_time(workload.total_vertices)
+            + c.pipe_time(workload.total_vertices, workload.total_pixels)
+            + c.blend_time(workload.texture_pixels)
+        )
+
+    def predict(
+        self,
+        config: SpotNoiseConfig,
+        field: Optional[VectorField2D] = None,
+        grid_shape: Optional[Tuple[int, int]] = None,
+    ) -> float:
+        """Predicted render seconds for *config* on this host.
+
+        Prefers an explicit *grid_shape* (the service caches it from the
+        first loaded field) so prediction never forces a data load.
+        """
+        raw = self._raw_estimate(
+            workload_from_config(config, field, grid_shape=grid_shape)
+        )
+        with self._lock:
+            scale = self._scale
+        return raw * scale if scale is not None else raw
+
+    def observe(self, config: SpotNoiseConfig, actual_s: float,
+                grid_shape: Optional[Tuple[int, int]] = None) -> None:
+        """Fold one observed render time into the calibration scale."""
+        if actual_s <= 0:
+            return
+        raw = self._raw_estimate(
+            workload_from_config(config, grid_shape=grid_shape)
+        )
+        if raw <= 0:
+            return
+        ratio = actual_s / raw
+        with self._lock:
+            if self._scale is None:
+                self._scale = ratio
+            else:
+                self._scale = (1.0 - self.alpha) * self._scale + self.alpha * ratio
+
+    @property
+    def calibrated(self) -> bool:
+        with self._lock:
+            return self._scale is not None
+
+
+class AdmissionController:
+    """Sheds renders whose predicted wait would blow the latency budget.
+
+    Parameters
+    ----------
+    latency_budget_s:
+        Maximum acceptable predicted wait for a *new* render, counting
+        the renders already queued ahead of it.  ``None`` disables the
+        latency criterion.
+    max_queue:
+        Hard cap on renders queued or in flight.  ``None`` disables it.
+
+    Cache hits and coalesced joins are never shed — they are (nearly)
+    free; only work that would add a render to the queue is policed.
+    """
+
+    def __init__(
+        self,
+        latency_budget_s: Optional[float] = None,
+        max_queue: Optional[int] = None,
+    ):
+        if latency_budget_s is not None and latency_budget_s <= 0:
+            raise ServiceError("latency_budget_s must be positive (or None)")
+        if max_queue is not None and max_queue < 1:
+            raise ServiceError("max_queue must be >= 1 (or None)")
+        self.latency_budget_s = latency_budget_s
+        self.max_queue = max_queue
+
+    def admit(self, predicted_s: Optional[float], queue_depth: int) -> None:
+        """Raise :class:`AdmissionError` if the render must be shed."""
+        if self.max_queue is not None and queue_depth >= self.max_queue:
+            raise AdmissionError(
+                f"render queue full ({queue_depth} >= {self.max_queue})"
+            )
+        if (
+            self.latency_budget_s is not None
+            and predicted_s is not None
+            and predicted_s * (queue_depth + 1) > self.latency_budget_s
+        ):
+            raise AdmissionError(
+                f"predicted wait {predicted_s * (queue_depth + 1) * 1e3:.1f} ms "
+                f"(depth {queue_depth}) exceeds the "
+                f"{self.latency_budget_s * 1e3:.1f} ms budget"
+            )

@@ -1,0 +1,195 @@
+"""Two-tier texture cache: in-memory LRU over an optional disk tier.
+
+The memory tier (:class:`LRUTextureCache`) holds rendered textures under
+a byte budget with least-recently-used eviction; entries are stored
+read-only and returned without copying, so a hit costs a dict lookup.
+The disk tier (:class:`DiskTextureCache`) is content-addressed ``.npz``
+files — exact float64 round trip, written via a same-directory temp file
+and ``os.replace`` so a crash can never leave a half-written texture to
+serve — with an optional human-browsable PGM preview per entry (written
+through :func:`repro.viz.image.write_pgm`, which is atomic for the same
+reason).  :class:`TieredTextureCache` stacks the two: memory first, then
+disk with promotion back into memory.
+
+All three are thread-safe; the scheduler's workers and any number of
+client threads may hit them concurrently.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import zipfile
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.utils.fileio import atomic_write
+from repro.viz.image import write_pgm
+
+
+def _freeze(texture: np.ndarray) -> np.ndarray:
+    """Canonicalise to a C-ordered float64 array and mark it read-only."""
+    t = np.ascontiguousarray(texture, dtype=np.float64)
+    if t is texture:
+        t = t.copy()
+    t.flags.writeable = False
+    return t
+
+
+class LRUTextureCache:
+    """In-memory LRU texture cache bounded by a byte budget.
+
+    Parameters
+    ----------
+    byte_budget:
+        Maximum total ``nbytes`` of cached textures.  A single texture
+        larger than the budget is simply not admitted (the put is a
+        no-op) — evicting the whole cache for one oversized entry would
+        trade many future hits for one.
+    """
+
+    def __init__(self, byte_budget: int):
+        if byte_budget < 0:
+            raise ServiceError(f"byte_budget must be >= 0, got {byte_budget}")
+        self.byte_budget = int(byte_budget)
+        self._entries: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._nbytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        with self._lock:
+            return self._nbytes
+
+    def get(self, digest: str) -> Optional[np.ndarray]:
+        """Return the cached texture (read-only, no copy) or ``None``."""
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(digest)
+            self.hits += 1
+            return entry
+
+    def put(self, digest: str, texture: np.ndarray) -> bool:
+        """Insert a texture; returns ``False`` if it exceeds the budget."""
+        frozen = _freeze(texture)
+        if frozen.nbytes > self.byte_budget:
+            return False
+        with self._lock:
+            old = self._entries.pop(digest, None)
+            if old is not None:
+                self._nbytes -= old.nbytes
+            self._entries[digest] = frozen
+            self._nbytes += frozen.nbytes
+            while self._nbytes > self.byte_budget:
+                _, evicted = self._entries.popitem(last=False)
+                self._nbytes -= evicted.nbytes
+                self.evictions += 1
+        return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._nbytes = 0
+
+
+class DiskTextureCache:
+    """Content-addressed on-disk texture tier.
+
+    Each entry is ``<digest>.npz`` holding the exact float64 texture;
+    writes go through a same-directory temp file and ``os.replace`` so
+    readers never observe a partial entry.  A corrupt or truncated file
+    (e.g. from a pre-atomic-write era or disk fault) is treated as a
+    miss and removed.
+    """
+
+    def __init__(self, directory: "str | os.PathLike", preview_pgm: bool = False):
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.preview_pgm = preview_pgm
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.directory, f"{digest}.npz")
+
+    def get(self, digest: str) -> Optional[np.ndarray]:
+        path = self._path(digest)
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                texture = np.asarray(archive["texture"], dtype=np.float64)
+        except FileNotFoundError:
+            with self._lock:
+                self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+            # Corrupt entry: drop it and report a miss.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            with self._lock:
+                self.misses += 1
+            return None
+        with self._lock:
+            self.hits += 1
+        return texture
+
+    def put(self, digest: str, texture: np.ndarray) -> bool:
+        payload = np.asarray(texture, dtype=np.float64)
+        atomic_write(
+            self._path(digest),
+            lambda fh: np.savez_compressed(fh, texture=payload),
+        )
+        if self.preview_pgm:
+            preview = np.clip(texture, 0.0, 1.0)
+            write_pgm(os.path.join(self.directory, f"{digest}.pgm"), preview)
+        return True
+
+    def __contains__(self, digest: str) -> bool:
+        return os.path.exists(self._path(digest))
+
+    def nbytes_on_disk(self) -> int:
+        total = 0
+        for name in os.listdir(self.directory):
+            if name.endswith(".npz"):
+                total += os.path.getsize(os.path.join(self.directory, name))
+        return total
+
+
+class TieredTextureCache:
+    """Memory tier over an optional disk tier, with promotion on disk hits."""
+
+    def __init__(self, memory: LRUTextureCache, disk: Optional[DiskTextureCache] = None):
+        self.memory = memory
+        self.disk = disk
+
+    def get(self, digest: str) -> Tuple[Optional[np.ndarray], Optional[str]]:
+        """Return ``(texture, tier)``; tier is ``"memory"``, ``"disk"`` or ``None``."""
+        texture = self.memory.get(digest)
+        if texture is not None:
+            return texture, "memory"
+        if self.disk is not None:
+            texture = self.disk.get(digest)
+            if texture is not None:
+                self.memory.put(digest, texture)
+                return texture, "disk"
+        return None, None
+
+    def put(self, digest: str, texture: np.ndarray) -> None:
+        self.memory.put(digest, texture)
+        if self.disk is not None:
+            self.disk.put(digest, texture)

@@ -1,0 +1,124 @@
+"""Content-addressed request keys.
+
+A served texture is a pure function of three things: the field data (by
+content, not by name — :func:`repro.fields.io.field_digest`), the
+synthesis configuration (:meth:`SpotNoiseConfig.fingerprint`) and the
+frame index the client asked for.  :class:`RequestKey` packs those into
+one canonical digest, so identical work is identical bytes: two clients
+asking for the same slice with the same knobs hash to the same cache
+entry and coalesce onto the same in-flight render, no matter how their
+requests were phrased.
+
+Tile requests (a rectangular crop of the final texture, for map-style
+pan/zoom clients) share the *render* key of their full frame: the full
+texture is rendered and cached once, crops are sliced from it.  The tile
+only participates in the request identity, never in the render identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.config import SpotNoiseConfig
+from repro.errors import ServiceError
+from repro.fields.io import field_digest
+from repro.fields.vectorfield import VectorField2D
+
+
+@dataclass(frozen=True)
+class TileSpec:
+    """A crop of the final texture, in texture pixel coordinates.
+
+    ``(x0, y0)`` is the lower-left corner in the library's y-up
+    convention; ``(width, height)`` the crop extent.  Validated against
+    the texture size at request time.
+    """
+
+    x0: int
+    y0: int
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.x0 < 0 or self.y0 < 0:
+            raise ServiceError(f"tile origin must be >= 0, got ({self.x0}, {self.y0})")
+        if self.width < 1 or self.height < 1:
+            raise ServiceError(
+                f"tile extent must be >= 1, got {self.width}x{self.height}"
+            )
+
+    def validate_for(self, texture_size: int) -> None:
+        if self.x0 + self.width > texture_size or self.y0 + self.height > texture_size:
+            raise ServiceError(
+                f"tile {self} exceeds the {texture_size}x{texture_size} texture"
+            )
+
+    def crop(self, texture):
+        """Slice this tile out of a (size, size) y-up texture array."""
+        return texture[self.y0 : self.y0 + self.height, self.x0 : self.x0 + self.width]
+
+
+@dataclass(frozen=True)
+class RequestKey:
+    """Canonical identity of one texture request.
+
+    Attributes
+    ----------
+    field_digest:
+        SHA-256 of the field content (grid + data + boundary).
+    config_fingerprint:
+        SHA-256 of the full :class:`SpotNoiseConfig`.
+    frame:
+        Client-visible frame index.  Deliberately *not* part of the
+        digest: the key is content-addressed, so two frames whose field
+        bytes coincide are the same work and share one cache entry.  The
+        frame is carried for observability (logs, traces, metrics).
+    tile:
+        Optional crop; ``None`` means the full texture.
+    """
+
+    field_digest: str
+    config_fingerprint: str
+    frame: int
+    tile: Optional[TileSpec] = None
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 hex digest of the canonical key string."""
+        tile = self.tile
+        tile_token = (
+            "full" if tile is None else f"{tile.x0},{tile.y0},{tile.width},{tile.height}"
+        )
+        canon = f"{self.field_digest}|{self.config_fingerprint}|{tile_token}"
+        return hashlib.sha256(canon.encode("ascii")).hexdigest()
+
+    def render_key(self) -> "RequestKey":
+        """The key of the full-frame render backing this request."""
+        if self.tile is None:
+            return self
+        return replace(self, tile=None)
+
+
+def request_key(
+    field: VectorField2D,
+    config: SpotNoiseConfig,
+    frame: int = 0,
+    tile: Optional[TileSpec] = None,
+    field_digest_hex: Optional[str] = None,
+) -> RequestKey:
+    """Build the canonical key for serving *frame* of *field* under *config*.
+
+    Pass *field_digest_hex* when the field digest is already known (the
+    service memoises digests for immutable stores) to skip re-hashing
+    the data.
+    """
+    if tile is not None:
+        tile.validate_for(config.texture_size)
+    return RequestKey(
+        field_digest=field_digest_hex or field_digest(field),
+        config_fingerprint=config.fingerprint(),
+        frame=int(frame),
+        tile=tile,
+    )

@@ -1,0 +1,165 @@
+"""Request scheduler: single-flight coalescing over a worker pool.
+
+Real serving traffic is dominated by *concurrent duplicates* — many
+clients scrubbing the same time slice at once.  The scheduler's job is
+to make N simultaneous requests for the same key cost exactly one
+render: the first request creates an in-flight ticket and enqueues the
+work; everyone else who arrives before it finishes attaches to the same
+ticket (a "coalesced" response).  Distinct keys queue behind a pool of
+worker threads — each worker drives a full divide-and-conquer render
+(which itself fans out over :mod:`repro.parallel.backends`), so the pool
+size trades request concurrency against per-render parallelism.
+
+Admission runs inside the submit lock, and only for requests that would
+*create* a render: joining an existing flight is free and is never shed.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ServiceError
+
+
+class RenderTicket:
+    """Handle on one in-flight render; many requests may wait on it."""
+
+    def __init__(self, key: str):
+        self.key = key
+        self.waiters = 1
+        self._done = threading.Event()
+        self._result: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+
+    def _finish(self, result: Optional[np.ndarray], error: Optional[BaseException]) -> None:
+        self._result = result
+        self._error = error
+        self._done.set()
+
+    def wait(self, timeout: Optional[float] = None) -> np.ndarray:
+        """Block until the render completes; re-raises its exception."""
+        if not self._done.wait(timeout):
+            raise ServiceError(f"timed out waiting for render {self.key[:12]}...")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+
+_SENTINEL = object()
+
+
+class RequestScheduler:
+    """Thread-safe queue of renders with single-flight coalescing.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker threads consuming the render queue.
+    admit:
+        Optional callback ``admit(queue_depth)`` invoked (under the
+        scheduler lock) before a *new* flight is created; raising
+        :class:`~repro.errors.AdmissionError` rejects the request.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 2,
+        admit: Optional[Callable[[int], None]] = None,
+        name: str = "texture-service",
+    ):
+        if n_workers < 1:
+            raise ServiceError(f"n_workers must be >= 1, got {n_workers}")
+        self._queue: "queue.Queue[object]" = queue.Queue()
+        self._inflight: Dict[str, RenderTicket] = {}
+        self._lock = threading.Lock()
+        self._admit = admit
+        self._closed = False
+        self.coalesced = 0
+        self.dispatched = 0
+        self._workers = [
+            threading.Thread(target=self._work, name=f"{name}-worker-{i}", daemon=True)
+            for i in range(n_workers)
+        ]
+        for w in self._workers:
+            w.start()
+
+    # -- submission ---------------------------------------------------------------
+    def submit(
+        self, key: str, render: Callable[[], np.ndarray]
+    ) -> Tuple[RenderTicket, bool]:
+        """Coalesce onto an in-flight render of *key* or enqueue a new one.
+
+        Returns ``(ticket, created)``; *created* is False when the
+        request piggybacked on an existing flight.  Admission control
+        (and hence :class:`~repro.errors.AdmissionError`) applies only
+        when a new flight would be created.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceError("scheduler is closed")
+            ticket = self._inflight.get(key)
+            if ticket is not None:
+                ticket.waiters += 1
+                self.coalesced += 1
+                return ticket, False
+            if self._admit is not None:
+                self._admit(len(self._inflight))
+            ticket = RenderTicket(key)
+            self._inflight[key] = ticket
+            self.dispatched += 1
+            self._queue.put((key, render, ticket))
+        return ticket, True
+
+    def submit_many(
+        self, items: Sequence[Tuple[str, Callable[[], np.ndarray]]]
+    ) -> List[Tuple[RenderTicket, bool]]:
+        """Batch submit; duplicates within the batch coalesce too."""
+        return [self.submit(key, render) for key, render in items]
+
+    # -- introspection ---------------------------------------------------------
+    def queue_depth(self) -> int:
+        """Renders queued or executing right now."""
+        with self._lock:
+            return len(self._inflight)
+
+    # -- worker loop ---------------------------------------------------------------
+    def _work(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                return
+            key, render, ticket = item  # type: ignore[misc]
+            result: Optional[np.ndarray] = None
+            error: Optional[BaseException] = None
+            try:
+                result = render()
+            except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+                error = exc
+            # Retire the flight *before* waking waiters: a request that
+            # arrives after this point starts fresh (and will usually hit
+            # the cache the render just populated).
+            with self._lock:
+                self._inflight.pop(key, None)
+            ticket._finish(result, error)
+
+    def close(self, wait: bool = True) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._workers:
+            self._queue.put(_SENTINEL)
+        if wait:
+            for w in self._workers:
+                w.join()
+
+    def __enter__(self) -> "RequestScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

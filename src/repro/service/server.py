@@ -1,0 +1,318 @@
+"""The texture serving front end.
+
+:class:`TextureService` binds a *field source* (anything mapping a frame
+index to a :class:`~repro.fields.vectorfield.VectorField2D` — a DNS
+store, a steering session's frame history, an analytic generator) to one
+:class:`~repro.core.config.SpotNoiseConfig` and serves rendered textures
+through the full stack:
+
+1. the request is keyed by content (:mod:`repro.service.keys`);
+2. the two-tier cache answers memory and disk hits;
+3. misses coalesce through the single-flight scheduler
+   (:mod:`repro.service.scheduler`) onto a deterministic render
+   (:func:`repro.core.synthesizer.render_frame`) with a pooled
+   divide-and-conquer runtime;
+4. admission control sheds renders past the latency budget;
+5. every step reports into :class:`~repro.service.stats.ServiceStats`.
+
+Responses are bit-identical to a fresh render of the same request — the
+cache stores exactly what the renderer produced, the disk tier round
+trips float64 exactly, and the renderer itself is a pure function of
+``(config, field)``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import SpotNoiseConfig
+from repro.core.synthesizer import render_frame
+from repro.errors import AdmissionError, ServiceError
+from repro.fields.io import field_digest
+from repro.fields.vectorfield import VectorField2D
+from repro.parallel.runtime import DivideAndConquerRuntime
+from repro.service.admission import AdmissionController, LatencyPredictor
+from repro.service.cache import DiskTextureCache, LRUTextureCache, TieredTextureCache
+from repro.service.keys import RequestKey, TileSpec
+from repro.service.scheduler import RequestScheduler
+from repro.service.stats import ServiceStats
+
+FieldSource = Callable[[int], VectorField2D]
+
+#: Default in-memory budget: 64 MiB ≈ 32 float64 textures at 512².
+DEFAULT_MEMORY_BUDGET = 64 << 20
+
+
+@dataclass(frozen=True)
+class TextureResponse:
+    """One served texture.
+
+    ``texture`` is read-only when it came from the memory tier (it is
+    the cache's own array; copy before mutating).  ``source`` is one of
+    ``"memory"``, ``"disk"``, ``"render"`` or ``"coalesced"``.
+    """
+
+    texture: np.ndarray
+    key: RequestKey
+    source: str
+    latency_s: float
+    predicted_s: Optional[float] = None
+
+
+class FrameRenderer:
+    """Deterministic per-config renderer with a pooled runtime.
+
+    Every call builds a fresh pipeline (re-seeded from ``config.seed``)
+    but reuses one :class:`DivideAndConquerRuntime`, so thread or
+    process pools persist across renders the way they persist across
+    animation frames.
+    """
+
+    def __init__(self, config: SpotNoiseConfig):
+        self.config = config
+        self.runtime = DivideAndConquerRuntime(config)
+
+    def render(self, field: VectorField2D) -> np.ndarray:
+        frame = render_frame(self.config, field, runtime=self.runtime)
+        return frame.display
+
+    def close(self) -> None:
+        self.runtime.close()
+
+
+class TextureService:
+    """Request-coalescing, cache-backed texture server.
+
+    Parameters
+    ----------
+    field_source:
+        Callable ``frame -> VectorField2D``.  Must be safe to call from
+        worker threads.
+    config:
+        Synthesis configuration served by this instance (one service =
+        one config; run several services to serve several mappings).
+    memory_budget_bytes:
+        Byte budget of the in-memory LRU tier (0 disables it in all but
+        name — every put is rejected, so every request renders or goes
+        to disk).
+    disk_dir:
+        Optional directory for the content-addressed disk tier.
+    n_workers:
+        Render worker threads (distinct-request concurrency).
+    admission:
+        Optional :class:`AdmissionController`; absent means never shed.
+    predictor:
+        Latency predictor (defaults to a fresh Onyx2-cost predictor that
+        self-calibrates from observed renders).
+    memoize_digests:
+        Cache ``frame -> field digest`` so cache hits skip loading the
+        field entirely.  Off by default because it is only sound for
+        immutable sources (a flushed store, a recorded history — the
+        in-repo clients opt in); under a source whose frames mutate it
+        would serve stale textures, since content changes could no
+        longer change the key.
+    """
+
+    def __init__(
+        self,
+        field_source: FieldSource,
+        config: SpotNoiseConfig,
+        memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET,
+        disk_dir: "str | None" = None,
+        n_workers: int = 2,
+        admission: Optional[AdmissionController] = None,
+        predictor: Optional[LatencyPredictor] = None,
+        memoize_digests: bool = False,
+        preview_pgm: bool = False,
+        stats: Optional[ServiceStats] = None,
+    ):
+        if config.seed is None:
+            # The whole subsystem rests on render_frame being a pure
+            # function of (config, field); an unseeded config re-rolls
+            # the spot population per render, so cached/coalesced
+            # responses would silently stop matching fresh renders.
+            raise ServiceError(
+                "TextureService requires a deterministic config: set "
+                "SpotNoiseConfig.seed to an integer (got seed=None)"
+            )
+        self.field_source = field_source
+        self.config = config
+        self.stats = stats or ServiceStats()
+        self.predictor = predictor or LatencyPredictor()
+        self.admission = admission
+        disk = DiskTextureCache(disk_dir, preview_pgm=preview_pgm) if disk_dir else None
+        self.cache = TieredTextureCache(LRUTextureCache(memory_budget_bytes), disk)
+        self.renderer = FrameRenderer(config)
+        self.scheduler = RequestScheduler(n_workers=n_workers, admit=self._admit)
+        self.stats.queue_depth_probe = self.scheduler.queue_depth
+        self._fingerprint = config.fingerprint()
+        self._memoize_digests = memoize_digests
+        self._digests: Dict[int, str] = {}
+        self._digest_lock = threading.Lock()
+        self._grid_shape: Optional[Tuple[int, int]] = None
+        self._closed = False
+
+    # -- construction helpers ----------------------------------------------------
+    @classmethod
+    def for_store(cls, store, config: SpotNoiseConfig, **kwargs) -> "TextureService":
+        """Serve a :class:`~repro.apps.dns.store.ChunkedFieldStore`.
+
+        Store frames are immutable once flushed, so digests are memoised
+        by default.
+        """
+        kwargs.setdefault("memoize_digests", True)
+        return cls(store.read, config, **kwargs)
+
+    # -- internals -------------------------------------------------------------
+    def _admit(self, queue_depth: int) -> None:
+        if self.admission is not None:
+            predicted = self.predictor.predict(self.config, grid_shape=self._grid_shape)
+            self.admission.admit(predicted, queue_depth)
+
+    def _load_field(self, frame: int) -> VectorField2D:
+        field = self.field_source(frame)
+        if self._grid_shape is None:
+            self._grid_shape = tuple(field.grid.shape)
+        return field
+
+    def _key_for(self, frame: int) -> "tuple[RequestKey, Optional[VectorField2D]]":
+        """Compute the request key, loading the field only when needed."""
+        if self._memoize_digests:
+            with self._digest_lock:
+                digest = self._digests.get(frame)
+            if digest is not None:
+                return (
+                    RequestKey(digest, self._fingerprint, frame),
+                    None,
+                )
+        field = self._load_field(frame)
+        digest = field_digest(field)
+        if self._memoize_digests:
+            with self._digest_lock:
+                self._digests[frame] = digest
+        return RequestKey(digest, self._fingerprint, frame), field
+
+    def invalidate_frame(self, frame: int) -> None:
+        """Drop a memoised digest (a mutable source rewrote *frame*)."""
+        with self._digest_lock:
+            self._digests.pop(frame, None)
+
+    # -- the request path --------------------------------------------------------
+    def request(
+        self,
+        frame: int,
+        tile: Optional[TileSpec] = None,
+        timeout: Optional[float] = None,
+    ) -> TextureResponse:
+        """Serve one texture request (blocking).
+
+        Raises :class:`~repro.errors.AdmissionError` when admission
+        control sheds the render, and propagates renderer errors.
+        """
+        if self._closed:
+            raise ServiceError("service is closed")
+        if tile is not None:
+            tile.validate_for(self.config.texture_size)
+        t0 = time.perf_counter()
+        self.stats.record_request()
+        try:
+            key, field = self._key_for(frame)
+            render_digest = key.digest  # full-frame digest (tile=None key)
+            texture, tier = self.cache.get(render_digest)
+            predicted: Optional[float] = None
+            if texture is not None:
+                source = tier or "memory"
+            else:
+                predicted = self.predictor.predict(
+                    self.config, grid_shape=self._grid_shape
+                )
+                texture, source = self._render_coalesced(
+                    render_digest, frame, field, predicted, timeout
+                )
+        except AdmissionError:
+            self.stats.record_shed()
+            raise
+        except Exception:
+            self.stats.record_error()
+            raise
+        latency = time.perf_counter() - t0
+        self.stats.record_response(source, latency)
+        out = tile.crop(texture) if tile is not None else texture
+        return TextureResponse(
+            texture=out,
+            key=RequestKey(key.field_digest, key.config_fingerprint, frame, tile),
+            source=source,
+            latency_s=latency,
+            predicted_s=predicted,
+        )
+
+    def _make_render(
+        self,
+        render_digest: str,
+        frame: int,
+        field: Optional[VectorField2D],
+        predicted: Optional[float],
+    ) -> Callable[[], np.ndarray]:
+        def do_render() -> np.ndarray:
+            f = field if field is not None else self._load_field(frame)
+            t0 = time.perf_counter()
+            texture = self.renderer.render(f)
+            actual = time.perf_counter() - t0
+            self.cache.put(render_digest, texture)
+            self.predictor.observe(self.config, actual, grid_shape=self._grid_shape)
+            self.stats.record_render(predicted, actual)
+            return texture
+
+        return do_render
+
+    def _render_coalesced(
+        self,
+        render_digest: str,
+        frame: int,
+        field: Optional[VectorField2D],
+        predicted: Optional[float],
+        timeout: Optional[float],
+    ) -> "tuple[np.ndarray, str]":
+        ticket, created = self.scheduler.submit(
+            render_digest, self._make_render(render_digest, frame, field, predicted)
+        )
+        texture = ticket.wait(timeout)
+        return texture, ("render" if created else "coalesced")
+
+    def prefetch(self, frames: Iterable[int]) -> int:
+        """Queue renders for uncached *frames* without waiting; returns
+        the number of new renders scheduled (duplicates and cache hits
+        cost nothing)."""
+        scheduled = 0
+        for frame in frames:
+            key, field = self._key_for(frame)
+            if self.cache.get(key.digest)[0] is not None:
+                continue
+            try:
+                _, created = self.scheduler.submit(
+                    key.digest, self._make_render(key.digest, frame, field, None)
+                )
+            except AdmissionError:
+                self.stats.record_shed()
+                continue
+            scheduled += int(created)
+        return scheduled
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.scheduler.close()
+        self.renderer.close()
+
+    def __enter__(self) -> "TextureService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,167 @@
+"""Serving metrics.
+
+:class:`ServiceStats` is the one place every layer of the serving stack
+reports into: the cache tiers (hit source), the scheduler (coalesces,
+queue depth, renders), admission control (sheds, predicted vs actual
+latency) and the request path itself (end-to-end latency per source).
+``report()`` renders the operator view; ``snapshot()`` returns the same
+numbers as a dict for programmatic assertions and the bench harness.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+import numpy as np
+
+#: Response sources, in the order reports print them.
+SOURCES = ("memory", "disk", "coalesced", "render")
+
+#: Retained samples per latency/prediction series.  Counters are exact
+#: forever; percentiles and prediction means are over the most recent
+#: window, keeping a long-running service at O(1) memory.
+SAMPLE_WINDOW = 4096
+
+
+class ServiceStats:
+    """Thread-safe counters and latency records for one service."""
+
+    def __init__(self, sample_window: int = SAMPLE_WINDOW) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.sheds = 0
+        self.errors = 0
+        self.renders = 0
+        self.hits_by_source: Dict[str, int] = {s: 0 for s in SOURCES}
+        self._latencies: Dict[str, Deque[float]] = {
+            s: deque(maxlen=sample_window) for s in SOURCES
+        }
+        self._predictions: Deque[Tuple[float, float]] = deque(maxlen=sample_window)
+        self._sample_window = sample_window
+        #: Optional gauge probe installed by the service (scheduler queue depth).
+        self.queue_depth_probe: Optional[Callable[[], int]] = None
+
+    # -- recording (called by the service layers) ------------------------------
+    def record_request(self) -> None:
+        with self._lock:
+            self.requests += 1
+
+    def record_response(self, source: str, latency_s: float) -> None:
+        with self._lock:
+            self.hits_by_source[source] = self.hits_by_source.get(source, 0) + 1
+            if source not in self._latencies:
+                self._latencies[source] = deque(maxlen=self._sample_window)
+            self._latencies[source].append(float(latency_s))
+
+    def record_render(self, predicted_s: Optional[float], actual_s: float) -> None:
+        with self._lock:
+            self.renders += 1
+            if predicted_s is not None:
+                self._predictions.append((float(predicted_s), float(actual_s)))
+
+    def record_shed(self) -> None:
+        with self._lock:
+            self.sheds += 1
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    # -- derived metrics ---------------------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        with self._lock:
+            return self.hits_by_source.get("memory", 0) + self.hits_by_source.get("disk", 0)
+
+    def hit_rate(self) -> float:
+        """Fraction of requests served from a cache tier (0 when idle)."""
+        with self._lock:
+            served = sum(self.hits_by_source.values())
+            hits = self.hits_by_source.get("memory", 0) + self.hits_by_source.get("disk", 0)
+        return hits / served if served else 0.0
+
+    def coalesce_rate(self) -> float:
+        """Fraction of requests that piggybacked on an in-flight render."""
+        with self._lock:
+            served = sum(self.hits_by_source.values())
+            coalesced = self.hits_by_source.get("coalesced", 0)
+        return coalesced / served if served else 0.0
+
+    def queue_depth(self) -> int:
+        probe = self.queue_depth_probe
+        return probe() if probe is not None else 0
+
+    def latency_percentiles(
+        self, source: Optional[str] = None
+    ) -> "dict[str, float]":
+        """``{"p50": ..., "p95": ...}`` seconds over one or all sources
+        (computed over the most recent :data:`SAMPLE_WINDOW` samples)."""
+        with self._lock:
+            if source is None:
+                values = [v for vs in self._latencies.values() for v in vs]
+            else:
+                values = list(self._latencies.get(source, ()))
+        if not values:
+            return {"p50": 0.0, "p95": 0.0}
+        arr = np.asarray(values)
+        return {
+            "p50": float(np.percentile(arr, 50)),
+            "p95": float(np.percentile(arr, 95)),
+        }
+
+    def prediction_accuracy(self) -> "tuple[float, float]":
+        """``(mean predicted, mean actual)`` render seconds (0, 0 when none)."""
+        with self._lock:
+            preds = list(self._predictions)
+        if not preds:
+            return 0.0, 0.0
+        arr = np.asarray(preds)
+        return float(arr[:, 0].mean()), float(arr[:, 1].mean())
+
+    # -- reporting ---------------------------------------------------------------
+    def snapshot(self) -> "dict[str, object]":
+        with self._lock:
+            by_source = dict(self.hits_by_source)
+            requests = self.requests
+            renders = self.renders
+            sheds = self.sheds
+            errors = self.errors
+        snap: "dict[str, object]" = {
+            "requests": requests,
+            "renders": renders,
+            "sheds": sheds,
+            "errors": errors,
+            "by_source": by_source,
+            "hit_rate": self.hit_rate(),
+            "coalesce_rate": self.coalesce_rate(),
+            "queue_depth": self.queue_depth(),
+            "latency": self.latency_percentiles(),
+        }
+        predicted, actual = self.prediction_accuracy()
+        snap["predicted_render_s"] = predicted
+        snap["actual_render_s"] = actual
+        return snap
+
+    def report(self) -> str:
+        snap = self.snapshot()
+        by_source = snap["by_source"]
+        lines = [
+            f"requests: {snap['requests']} "
+            f"(renders {snap['renders']}, sheds {snap['sheds']}, errors {snap['errors']})",
+            "served:   "
+            + ", ".join(f"{s}={by_source.get(s, 0)}" for s in SOURCES),
+            f"rates:    hit {snap['hit_rate']:.1%}, coalesce {snap['coalesce_rate']:.1%}, "
+            f"queue depth {snap['queue_depth']}",
+        ]
+        lat = snap["latency"]
+        lines.append(
+            f"latency:  p50 {lat['p50'] * 1e3:.2f} ms, p95 {lat['p95'] * 1e3:.2f} ms"
+        )
+        if snap["renders"]:
+            lines.append(
+                f"renders:  predicted {snap['predicted_render_s'] * 1e3:.2f} ms, "
+                f"actual {snap['actual_render_s'] * 1e3:.2f} ms (mean)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Atomic file writes.
+
+One implementation of the write-to-temp-then-``os.replace`` dance shared
+by image IO and the serving disk cache: readers never observe a partial
+file, an interrupted write leaves the destination untouched, and the
+final file carries normal umask-derived permissions (``mkstemp`` creates
+0600 temp files, which must not leak onto the destination — a cache
+directory is often read by other processes/users).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import BinaryIO, Callable, Union
+
+PathLike = Union[str, os.PathLike]
+
+# Process umask, read once (os.umask can only be read by setting it, a
+# process-global operation that is not thread-safe mid-run).
+_umask = os.umask(0)
+os.umask(_umask)
+
+
+def atomic_write(path: PathLike, writer: Callable[[BinaryIO], None]) -> None:
+    """Call ``writer(fh)`` on a same-directory temp file, then rename.
+
+    On any failure the temp file is removed and *path* is untouched.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(prefix=os.path.basename(path) + ".", dir=directory)
+    try:
+        os.fchmod(fd, 0o666 & ~_umask)
+        with os.fdopen(fd, "wb") as fh:
+            writer(fh)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_bytes(path: PathLike, payload: bytes) -> None:
+    """Atomically write *payload* to *path*."""
+    atomic_write(path, lambda fh: fh.write(payload))

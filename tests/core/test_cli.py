@@ -74,3 +74,34 @@ class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestServeBench:
+    def test_small_zipf_bench_runs_and_reports(self, capsys):
+        code = main([
+            "serve-bench", "--trace", "zipf", "--requests", "24",
+            "--frames", "4", "--clients", "2", "--workers", "1",
+            "--spots", "60", "--size", "32", "--grid", "17",
+            "--baseline-requests", "6",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hit" in out and "coalesce" in out
+        assert "bit-identical to fresh renders: yes" in out
+        assert "speedup" in out
+        assert "renders for 4 distinct frames" in out or "distinct frames" in out
+
+    def test_disk_tier_and_scrub_trace(self, tmp_path, capsys):
+        code = main([
+            "serve-bench", "--trace", "scrub", "--requests", "12",
+            "--frames", "3", "--clients", "1", "--workers", "1",
+            "--spots", "60", "--size", "32", "--grid", "17",
+            "--baseline-requests", "4", "--disk", str(tmp_path / "cache"),
+            "--no-verify",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" not in out
+        # The disk tier is content-addressed npz files.
+        cached = [p for p in (tmp_path / "cache").iterdir() if p.suffix == ".npz"]
+        assert cached

@@ -72,3 +72,58 @@ class TestSpotNoiseConfig:
     def test_frozen(self):
         with pytest.raises(Exception):
             SpotNoiseConfig().n_spots = 7
+
+
+class TestFingerprint:
+    """The config fingerprint keys the serving cache: every field must
+    participate, and equal configs must fingerprint equal."""
+
+    # One valid alternate value per field (kept distinct from the defaults).
+    ALTERNATES = {
+        "n_spots": 7,
+        "texture_size": 64,
+        "spot_mode": "bent",
+        "spot_radius_cells": 2.5,
+        "anisotropy": 0.25,
+        "profile": "disk",
+        "profile_resolution": 16,
+        "bent": BentConfig(n_along=8, n_across=5),
+        "intensity": 2.0,
+        "render_mode": "exact",
+        "raster_backend": "exact",
+        "samples_per_edge": 3,
+        "n_groups": 2,
+        "processors_per_group": 2,
+        "partition": "block",
+        "guard_px": 12,
+        "backend": "thread",
+        "seed": 123,
+        "post_filter": "highpass",
+        "seeding": "jittered",
+    }
+
+    def test_every_field_has_an_alternate(self):
+        assert set(self.ALTERNATES) == set(SpotNoiseConfig.__dataclass_fields__)
+
+    def test_stable_and_equal_for_equal_configs(self):
+        a = SpotNoiseConfig()
+        b = SpotNoiseConfig()
+        assert a.fingerprint() == b.fingerprint()
+        assert len(a.fingerprint()) == 64
+
+    def test_changing_any_single_field_changes_the_fingerprint(self):
+        base = SpotNoiseConfig()
+        baseline = base.fingerprint()
+        for name, alternate in self.ALTERNATES.items():
+            assert getattr(base, name) != alternate, name
+            changed = base.with_overrides(**{name: alternate})
+            assert changed.fingerprint() != baseline, (
+                f"field {name!r} does not affect the fingerprint"
+            )
+
+    def test_bent_subfields_participate(self):
+        base = SpotNoiseConfig(spot_mode="bent")
+        changed = base.with_overrides(
+            bent=BentConfig(n_along=base.bent.n_along + 1)
+        )
+        assert changed.fingerprint() != base.fingerprint()

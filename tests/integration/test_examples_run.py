@@ -25,6 +25,7 @@ def run_example(name, timeout=240):
         ("quickstart.py", "quickstart_vortex.pgm"),
         ("separation_study.py", "separation band"),
         ("performance_prediction.py", "16 processors"),
+        ("serve_trace.py", "speedup"),
     ],
 )
 def test_fast_example_runs(script, expected):

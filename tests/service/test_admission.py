@@ -1,0 +1,75 @@
+"""Tests for repro.service.admission — prediction and shedding."""
+
+import pytest
+
+from repro.core.config import SpotNoiseConfig
+from repro.errors import AdmissionError, ServiceError
+from repro.fields.analytic import vortex_field
+from repro.service.admission import AdmissionController, LatencyPredictor
+
+
+class TestLatencyPredictor:
+    def test_more_spots_predict_more_time(self):
+        p = LatencyPredictor()
+        small = p.predict(SpotNoiseConfig(n_spots=100, texture_size=64))
+        big = p.predict(SpotNoiseConfig(n_spots=10_000, texture_size=64))
+        assert big > small > 0.0
+
+    def test_field_and_shape_paths_agree(self):
+        p = LatencyPredictor()
+        cfg = SpotNoiseConfig(n_spots=500, texture_size=64)
+        f = vortex_field(n=33)
+        assert p.predict(cfg, field=f) == pytest.approx(
+            p.predict(cfg, grid_shape=tuple(f.grid.shape))
+        )
+
+    def test_observation_calibrates_scale(self):
+        p = LatencyPredictor(alpha=1.0)
+        cfg = SpotNoiseConfig(n_spots=500, texture_size=64)
+        raw = p.predict(cfg)
+        assert not p.calibrated
+        # Tell the predictor renders actually take 10x its raw estimate.
+        p.observe(cfg, actual_s=raw * 10.0)
+        assert p.calibrated
+        assert p.predict(cfg) == pytest.approx(raw * 10.0)
+
+    def test_ewma_smooths_observations(self):
+        p = LatencyPredictor(alpha=0.5)
+        cfg = SpotNoiseConfig(n_spots=500, texture_size=64)
+        raw = p.predict(cfg)
+        p.observe(cfg, actual_s=raw)          # scale -> 1
+        p.observe(cfg, actual_s=raw * 3.0)    # scale -> 2
+        assert p.predict(cfg) == pytest.approx(raw * 2.0)
+
+    def test_nonpositive_observation_ignored(self):
+        p = LatencyPredictor()
+        cfg = SpotNoiseConfig(n_spots=500, texture_size=64)
+        p.observe(cfg, actual_s=0.0)
+        assert not p.calibrated
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ServiceError):
+            LatencyPredictor(alpha=0.0)
+
+
+class TestAdmissionController:
+    def test_unbounded_controller_admits_everything(self):
+        AdmissionController().admit(predicted_s=1e9, queue_depth=10**6)
+
+    def test_queue_cap_sheds(self):
+        ctrl = AdmissionController(max_queue=2)
+        ctrl.admit(None, queue_depth=1)
+        with pytest.raises(AdmissionError, match="queue full"):
+            ctrl.admit(None, queue_depth=2)
+
+    def test_latency_budget_counts_queued_work(self):
+        ctrl = AdmissionController(latency_budget_s=0.1)
+        ctrl.admit(predicted_s=0.04, queue_depth=1)  # 2 * 40ms = 80ms ok
+        with pytest.raises(AdmissionError, match="budget"):
+            ctrl.admit(predicted_s=0.04, queue_depth=2)  # 3 * 40ms = 120ms
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ServiceError):
+            AdmissionController(latency_budget_s=0.0)
+        with pytest.raises(ServiceError):
+            AdmissionController(max_queue=0)

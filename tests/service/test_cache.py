@@ -1,0 +1,120 @@
+"""Tests for repro.service.cache — LRU budget, disk tier, promotion."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.service.cache import DiskTextureCache, LRUTextureCache, TieredTextureCache
+
+
+def tex(value: float, n: int = 8) -> np.ndarray:
+    return np.full((n, n), value, dtype=np.float64)
+
+
+ENTRY_BYTES = tex(0.0).nbytes  # 8*8*8 = 512
+
+
+class TestLRUTextureCache:
+    def test_round_trip_is_exact(self):
+        cache = LRUTextureCache(4 * ENTRY_BYTES)
+        t = np.random.default_rng(0).random((8, 8))
+        cache.put("a", t)
+        got = cache.get("a")
+        np.testing.assert_array_equal(got, t)
+
+    def test_entries_are_read_only(self):
+        cache = LRUTextureCache(4 * ENTRY_BYTES)
+        cache.put("a", tex(1.0))
+        got = cache.get("a")
+        with pytest.raises(ValueError):
+            got[0, 0] = 99.0
+
+    def test_byte_budget_evicts_lru(self):
+        cache = LRUTextureCache(3 * ENTRY_BYTES)
+        for i, name in enumerate("abc"):
+            cache.put(name, tex(float(i)))
+        assert cache.nbytes == 3 * ENTRY_BYTES
+        cache.get("a")           # refresh a; b becomes LRU
+        cache.put("d", tex(3.0))  # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("d") is not None
+        assert cache.nbytes <= 3 * ENTRY_BYTES
+        assert cache.evictions == 1
+
+    def test_oversized_entry_is_rejected_not_thrashing(self):
+        cache = LRUTextureCache(ENTRY_BYTES)
+        cache.put("small", tex(1.0))
+        assert not cache.put("big", np.zeros((64, 64)))
+        # The resident small entry survives the rejected oversized put.
+        assert cache.get("small") is not None
+
+    def test_reinsert_same_key_replaces_bytes(self):
+        cache = LRUTextureCache(2 * ENTRY_BYTES)
+        cache.put("a", tex(1.0))
+        cache.put("a", tex(2.0))
+        assert len(cache) == 1
+        assert cache.nbytes == ENTRY_BYTES
+        assert cache.get("a")[0, 0] == 2.0
+
+    def test_zero_budget_caches_nothing(self):
+        cache = LRUTextureCache(0)
+        assert not cache.put("a", tex(1.0))
+        assert cache.get("a") is None
+
+
+class TestDiskTextureCache:
+    def test_round_trip_is_bit_exact(self, tmp_path):
+        disk = DiskTextureCache(tmp_path)
+        t = np.random.default_rng(1).random((16, 16))
+        disk.put("deadbeef", t)
+        np.testing.assert_array_equal(disk.get("deadbeef"), t)
+
+    def test_missing_entry_is_a_miss(self, tmp_path):
+        disk = DiskTextureCache(tmp_path)
+        assert disk.get("nope") is None
+        assert disk.misses == 1
+
+    def test_corrupt_entry_is_dropped_and_missed(self, tmp_path):
+        disk = DiskTextureCache(tmp_path)
+        path = os.path.join(str(tmp_path), "bad.npz")
+        with open(path, "wb") as fh:
+            fh.write(b"PK\x03\x04 truncated garbage")
+        assert disk.get("bad") is None
+        assert not os.path.exists(path)
+
+    def test_no_partial_files_after_put(self, tmp_path):
+        disk = DiskTextureCache(tmp_path)
+        disk.put("abc", tex(0.5))
+        leftovers = [n for n in os.listdir(tmp_path) if not n.endswith(".npz")]
+        assert leftovers == []
+        assert disk.nbytes_on_disk() > 0
+        assert "abc" in disk
+
+    def test_preview_pgm_written(self, tmp_path):
+        disk = DiskTextureCache(tmp_path, preview_pgm=True)
+        disk.put("abc", tex(0.5))
+        assert os.path.exists(os.path.join(str(tmp_path), "abc.pgm"))
+
+
+class TestTieredTextureCache:
+    def test_memory_first_then_disk_with_promotion(self, tmp_path):
+        tiered = TieredTextureCache(
+            LRUTextureCache(4 * ENTRY_BYTES), DiskTextureCache(tmp_path)
+        )
+        tiered.put("a", tex(1.0))
+        _, tier = tiered.get("a")
+        assert tier == "memory"
+        # Drop the memory tier; the disk tier must answer and re-promote.
+        tiered.memory.clear()
+        got, tier = tiered.get("a")
+        assert tier == "disk"
+        np.testing.assert_array_equal(got, tex(1.0))
+        _, tier = tiered.get("a")
+        assert tier == "memory"
+
+    def test_miss_returns_none_tier(self, tmp_path):
+        tiered = TieredTextureCache(LRUTextureCache(ENTRY_BYTES), None)
+        got, tier = tiered.get("zzz")
+        assert got is None and tier is None

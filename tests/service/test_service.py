@@ -1,0 +1,367 @@
+"""End-to-end tests for TextureService: correctness of the served bytes.
+
+The serving layer's contract is that caching, coalescing and tiering are
+*invisible* in the response bytes: whatever combination of tiers and
+backends served a request, the texture equals a fresh render of the same
+``(config, field)``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SpotNoiseConfig
+from repro.errors import AdmissionError, ServiceError
+from repro.fields.analytic import random_smooth_field
+from repro.service import (
+    AdmissionController,
+    FrameRenderer,
+    TextureService,
+    TileSpec,
+)
+from repro.service.server import TextureResponse
+
+
+@pytest.fixture
+def fields():
+    return {f: random_smooth_field(seed=50 + f, n=25) for f in range(6)}
+
+
+@pytest.fixture
+def config():
+    return SpotNoiseConfig(n_spots=200, texture_size=48, seed=11)
+
+
+def make_service(fields, config, **kwargs):
+    return TextureService(lambda f: fields[f], config, **kwargs)
+
+
+class TestServedBytes:
+    def test_cached_equals_fresh(self, fields, config):
+        with make_service(fields, config) as svc:
+            first = svc.request(2)
+            second = svc.request(2)
+        assert first.source == "render"
+        assert second.source == "memory"
+        renderer = FrameRenderer(config)
+        fresh = renderer.render(fields[2])
+        renderer.close()
+        np.testing.assert_array_equal(first.texture, fresh)
+        np.testing.assert_array_equal(second.texture, fresh)
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    @pytest.mark.parametrize("raster_backend", ["exact", "batched"])
+    def test_bit_identical_across_backends(self, fields, backend, raster_backend):
+        """The serve path must preserve the runtime's backend-equivalence
+        guarantee: any backend, cached or fresh, same bytes."""
+        cfg = SpotNoiseConfig(
+            n_spots=150,
+            texture_size=48,
+            seed=11,
+            render_mode="exact",
+            raster_backend=raster_backend,
+            backend=backend,
+            n_groups=2,
+        )
+        with make_service(fields, cfg) as svc:
+            served = svc.request(1).texture
+            cached = svc.request(1).texture
+        reference_cfg = cfg.with_overrides(backend="serial")
+        renderer = FrameRenderer(reference_cfg)
+        fresh = renderer.render(fields[1])
+        renderer.close()
+        np.testing.assert_array_equal(served, fresh)
+        np.testing.assert_array_equal(cached, fresh)
+
+    def test_disk_tier_round_trip(self, fields, config, tmp_path):
+        with make_service(fields, config, disk_dir=str(tmp_path)) as svc:
+            rendered = svc.request(0)
+            # Wipe the memory tier: the disk tier must serve the bytes.
+            svc.cache.memory.clear()
+            from_disk = svc.request(0)
+            assert from_disk.source == "disk"
+            np.testing.assert_array_equal(from_disk.texture, rendered.texture)
+            # And the disk hit re-promoted it into memory.
+            assert svc.request(0).source == "memory"
+
+    def test_disk_tier_survives_service_restart(self, fields, config, tmp_path):
+        with make_service(fields, config, disk_dir=str(tmp_path)) as svc:
+            rendered = svc.request(3)
+        with make_service(fields, config, disk_dir=str(tmp_path)) as svc2:
+            warm = svc2.request(3)
+            assert warm.source == "disk"
+            assert svc2.stats.renders == 0
+            np.testing.assert_array_equal(warm.texture, rendered.texture)
+
+    def test_tile_is_a_crop_of_the_full_texture(self, fields, config):
+        with make_service(fields, config) as svc:
+            full = svc.request(0).texture
+            tile = svc.request(0, tile=TileSpec(8, 4, 16, 12))
+        assert tile.texture.shape == (12, 16)
+        np.testing.assert_array_equal(tile.texture, full[4:16, 8:24])
+        # The tile was sliced from the cached full frame, not re-rendered.
+        assert tile.source == "memory"
+
+    def test_different_configs_do_not_share_entries(self, fields, config):
+        other = config.with_overrides(n_spots=config.n_spots + 1)
+        with make_service(fields, config) as a, make_service(fields, other) as b:
+            ta = a.request(0).texture
+            tb = b.request(0)
+        assert tb.source == "render"  # no cross-config hit is possible
+        assert not np.array_equal(ta, tb.texture)
+
+
+class TestKeysAndSources:
+    def test_identical_content_shares_one_render(self, config):
+        # Two frame indices with byte-identical fields: content addressing
+        # must collapse them onto one cache entry.
+        f = random_smooth_field(seed=7, n=25)
+        with TextureService(lambda _: f, config) as svc:
+            first = svc.request(0)
+            second = svc.request(1)
+        assert first.source == "render"
+        assert second.source == "memory"
+        assert svc.stats.renders == 1
+
+    def test_memoized_digest_skips_field_loads(self, fields, config):
+        loads = [0]
+
+        def counting_source(frame):
+            loads[0] += 1
+            return fields[frame]
+
+        with TextureService(counting_source, config, memoize_digests=True) as svc:
+            svc.request(0)
+            loads_after_miss = loads[0]
+            svc.request(0)
+            assert loads[0] == loads_after_miss  # hit did not touch the source
+
+    def test_mutable_source_without_memoization_rekeys(self, config):
+        frames = {0: random_smooth_field(seed=1, n=25)}
+
+        def source(frame):
+            return frames[frame]
+
+        with TextureService(source, config, memoize_digests=False) as svc:
+            before = svc.request(0)
+            frames[0] = random_smooth_field(seed=2, n=25)  # steering rewrote it
+            after = svc.request(0)
+        assert after.source == "render"
+        assert not np.array_equal(before.texture, after.texture)
+
+    def test_invalidate_frame_drops_the_memoized_digest(self, config):
+        frames = {0: random_smooth_field(seed=1, n=25)}
+        with TextureService(lambda f: frames[f], config, memoize_digests=True) as svc:
+            svc.request(0)
+            frames[0] = random_smooth_field(seed=2, n=25)
+            svc.invalidate_frame(0)
+            assert svc.request(0).source == "render"
+            assert svc.stats.renders == 2
+
+
+class TestAdmissionIntegration:
+    def test_queue_cap_sheds_new_renders(self, fields, config):
+        import concurrent.futures as cf
+        import threading
+
+        hold = threading.Event()
+        svc = TextureService(
+            lambda f: fields[f],
+            config,
+            n_workers=1,
+            admission=AdmissionController(max_queue=2),
+        )
+        original_render = svc.renderer.render
+
+        def slow_render(field):
+            hold.wait(5.0)
+            return original_render(field)
+
+        svc.renderer.render = slow_render
+        try:
+            with cf.ThreadPoolExecutor(2) as pool:
+                # Two distinct renders fill the queue (one executing at the
+                # held worker, one waiting behind it)...
+                futures = [pool.submit(svc.request, f) for f in range(2)]
+                deadline = __import__("time").time() + 2.0
+                while svc.scheduler.queue_depth() < 2 and __import__("time").time() < deadline:
+                    __import__("time").sleep(0.005)
+                assert svc.scheduler.queue_depth() == 2
+                # ...so a third distinct render must be shed, while joining
+                # an in-flight render stays admitted.
+                with pytest.raises(AdmissionError):
+                    svc.request(2)
+                assert svc.stats.sheds == 1
+                hold.set()
+                for fut in futures:
+                    assert fut.result(timeout=10.0).source == "render"
+        finally:
+            hold.set()
+            svc.close()
+
+    def test_served_latency_and_prediction_are_recorded(self, fields, config):
+        with make_service(fields, config) as svc:
+            svc.request(0)
+            svc.request(0)
+        snap = svc.stats.snapshot()
+        assert snap["renders"] == 1
+        assert snap["by_source"]["memory"] == 1
+        assert snap["actual_render_s"] > 0.0
+        assert snap["predicted_render_s"] > 0.0
+        assert svc.predictor.calibrated
+        pct = svc.stats.latency_percentiles()
+        assert pct["p95"] >= pct["p50"] >= 0.0
+
+
+class TestLifecycle:
+    def test_request_after_close_raises(self, fields, config):
+        svc = make_service(fields, config)
+        svc.close()
+        with pytest.raises(ServiceError, match="closed"):
+            svc.request(0)
+
+    def test_source_error_is_counted_and_propagates(self, config):
+        def broken(frame):
+            raise KeyError(frame)
+
+        with TextureService(broken, config) as svc:
+            with pytest.raises(KeyError):
+                svc.request(0)
+        assert svc.stats.errors == 1
+
+    def test_response_type(self, fields, config):
+        with make_service(fields, config) as svc:
+            response = svc.request(0)
+        assert isinstance(response, TextureResponse)
+        assert response.key.frame == 0
+        assert response.latency_s > 0.0
+
+
+class TestInRepoClients:
+    def test_smog_steering_serves_history(self):
+        from repro.apps.smog.steering import SteeredSmogApplication
+        from repro.errors import SteeringError
+
+        app = SteeredSmogApplication(nx=19, ny=17, n_sources=2, seed=5)
+        for _ in range(3):
+            app.advance()
+        cfg = SpotNoiseConfig(n_spots=100, texture_size=32, seed=1)
+        with app.texture_service(cfg) as svc:
+            a = svc.request(1)
+            b = svc.request(1)
+            assert b.source == "memory"
+            np.testing.assert_array_equal(a.texture, b.texture)
+            with pytest.raises(SteeringError):
+                svc.request(99)
+
+    def test_dns_browser_serves_store(self, tmp_path):
+        from repro.apps.dns.browser import DataBrowser
+        from repro.apps.dns.store import ChunkedFieldStore
+        from repro.fields.grid import RectilinearGrid
+        from repro.fields.vectorfield import VectorField2D
+
+        grid = RectilinearGrid(np.linspace(0, 1, 9), np.linspace(0, 1, 7))
+        store = ChunkedFieldStore.create(tmp_path / "db", grid, frames_per_chunk=2)
+        rng = np.random.default_rng(0)
+        for t in range(4):
+            store.append(
+                VectorField2D(grid, rng.normal(size=(7, 9, 2))), time=float(t)
+            )
+        store.flush()
+        browser = DataBrowser(store)
+        cfg = SpotNoiseConfig(n_spots=100, texture_size=32, seed=1)
+        with browser.texture_service(cfg) as svc:
+            first = svc.request(2)
+            again = svc.request(2)
+            assert again.source == "memory"
+            np.testing.assert_array_equal(first.texture, again.texture)
+            assert svc.stats.renders == 1
+
+
+class TestPrefetch:
+    def test_prefetch_schedules_only_uncached_distinct_frames(self, fields, config):
+        with make_service(fields, config) as svc:
+            svc.request(0)  # already cached
+            scheduled = svc.prefetch([0, 1, 2, 1])
+            assert scheduled == 2
+            # Wait for the background renders, then everything is a hit.
+            deadline = __import__("time").time() + 10.0
+            while svc.scheduler.queue_depth() and __import__("time").time() < deadline:
+                __import__("time").sleep(0.01)
+            for frame in (0, 1, 2):
+                assert svc.request(frame).source == "memory"
+        assert svc.stats.renders == 3
+
+
+class TestDeterminismGuard:
+    def test_unseeded_config_is_rejected(self, fields):
+        unseeded = SpotNoiseConfig(n_spots=50, texture_size=32, seed=None)
+        with pytest.raises(ServiceError, match="seed"):
+            TextureService(lambda f: fields[f], unseeded)
+
+
+class TestConcurrentStoreReads:
+    def test_store_chunk_cache_is_thread_safe_under_service_load(self, tmp_path):
+        """Worker threads reading different chunks concurrently must never
+        pair one chunk's index with another chunk's data (each frame's
+        texture must come from that frame's field)."""
+        from repro.apps.dns.store import ChunkedFieldStore
+        from repro.fields.grid import RectilinearGrid
+        from repro.fields.io import field_digest
+        from repro.fields.vectorfield import VectorField2D
+
+        grid = RectilinearGrid(np.linspace(0, 1, 9), np.linspace(0, 1, 7))
+        store = ChunkedFieldStore.create(tmp_path / "db", grid, frames_per_chunk=1)
+        rng = np.random.default_rng(3)
+        n = 8
+        for t in range(n):
+            store.append(VectorField2D(grid, rng.normal(size=(7, 9, 2))), time=float(t))
+        store.flush()
+        # Sequential read-back is the ground truth (the store quantises
+        # to float32 on append, so digest the stored bytes, not the input).
+        digests = [field_digest(store.read(t)) for t in range(n)]
+
+        import concurrent.futures as cf
+
+        for _ in range(5):  # several rounds to give a race a chance
+            with cf.ThreadPoolExecutor(4) as pool:
+                got = list(pool.map(lambda t: field_digest(store.read(t)), range(n)))
+            assert got == digests
+
+
+class TestSafeDefaults:
+    def test_digest_memoization_is_off_by_default(self, config):
+        """The default must be safe for mutable sources: rewriting a frame
+        changes the key and triggers a fresh render."""
+        frames = {0: random_smooth_field(seed=1, n=25)}
+        with TextureService(lambda f: frames[f], config) as svc:
+            before = svc.request(0)
+            frames[0] = random_smooth_field(seed=2, n=25)
+            after = svc.request(0)
+        assert after.source == "render"
+        assert not np.array_equal(before.texture, after.texture)
+
+    def test_bounded_smog_history_evicts_oldest(self):
+        from repro.apps.smog.steering import SteeredSmogApplication
+        from repro.errors import SteeringError
+
+        app = SteeredSmogApplication(
+            nx=19, ny=17, n_sources=2, seed=5, history_limit=2
+        )
+        for _ in range(4):
+            app.advance()
+        with pytest.raises(SteeringError, match="evicted"):
+            app.read_history(0)
+        app.read_history(2)
+        app.read_history(3)
+
+    def test_disk_cache_entries_honor_umask(self, tmp_path):
+        import os
+
+        from repro.service.cache import DiskTextureCache
+
+        disk = DiskTextureCache(tmp_path)
+        disk.put("abc", np.zeros((4, 4)))
+        mode = os.stat(os.path.join(str(tmp_path), "abc.npz")).st_mode & 0o777
+        um = os.umask(0)
+        os.umask(um)
+        assert mode == 0o666 & ~um  # not mkstemp's 0600

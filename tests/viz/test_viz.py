@@ -135,6 +135,49 @@ class TestImageIO:
             read_pgm(p)
 
 
+class TestAtomicWrites:
+    """Interrupted writes must never leave a truncated image behind
+    (the serving disk cache reads whatever file exists)."""
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path, monkeypatch):
+        import os
+
+        path = tmp_path / "t.pgm"
+        good = np.full((6, 6), 0.25)
+        write_pgm(path, good)
+        before = path.read_bytes()
+
+        # Make the replace step fail: the destination must be untouched.
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            write_pgm(path, np.full((6, 6), 0.75))
+        monkeypatch.undo()
+        assert path.read_bytes() == before
+        np.testing.assert_allclose(read_pgm(path), good, atol=1.0 / 255)
+
+    def test_no_temp_files_left_behind(self, tmp_path, monkeypatch):
+        import os
+
+        path = tmp_path / "t.ppm"
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            write_ppm(path, np.zeros((4, 4, 3)))
+        monkeypatch.undo()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_successful_write_leaves_only_the_image(self, tmp_path):
+        path = tmp_path / "t.pgm"
+        write_pgm(path, np.zeros((4, 4)))
+        assert [p.name for p in tmp_path.iterdir()] == ["t.pgm"]
+
+
 class TestStats:
     def test_texture_statistics_values(self):
         t = np.array([[0.0, 2.0], [-2.0, 0.0]])
