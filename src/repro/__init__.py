@@ -25,6 +25,7 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.parallel` — divide-and-conquer runtime and backends
 - :mod:`repro.core` — the four-stage pipeline and public API
 - :mod:`repro.service` — cache-backed, request-coalescing texture serving
+- :mod:`repro.anim` — temporally-coherent animation streaming
 - :mod:`repro.apps` — smog steering and DNS browsing applications
 - :mod:`repro.baselines` — arrow plots, streamlines, LIC, sequential
 - :mod:`repro.viz` — colormaps, overlays, image IO, texture statistics
@@ -37,6 +38,7 @@ from repro.core.animation import AnimationLoop
 from repro.core.steering import SteeringSession
 from repro.errors import ReproError
 from repro.service.server import TextureService
+from repro.anim.service import AnimationService
 
 __version__ = "1.1.0"
 
@@ -50,6 +52,7 @@ __all__ = [
     "AnimationLoop",
     "SteeringSession",
     "TextureService",
+    "AnimationService",
     "ReproError",
     "__version__",
 ]

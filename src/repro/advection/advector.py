@@ -21,6 +21,17 @@ from repro.fields.vectorfield import VectorField2D
 from repro.utils.rng import as_rng
 
 
+def auto_dt(field: VectorField2D) -> float:
+    """The step an :class:`Advector` picks when ``dt`` is left ``None``.
+
+    Chosen so the fastest particle moves about half a grid cell per
+    frame.  Exposed so callers that need the step *before* building a
+    pipeline (the sequence keys of :mod:`repro.anim` content-address on
+    it) resolve exactly the value the advector would use.
+    """
+    return Advector._auto_dt(field)
+
+
 @dataclass
 class AdvectionStats:
     """Bookkeeping for one frame; feeds the machine cost model."""

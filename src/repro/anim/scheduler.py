@@ -1,0 +1,223 @@
+"""Streaming sequence scheduler: single-flight over frame *ranges*.
+
+The texture scheduler coalesces point requests; animation traffic asks
+for *ranges*, and ranges overlap — one client replays frames 0-100 while
+another scrubs 10-40.  :class:`SequenceScheduler` extends single-flight
+semantics to that shape: per sequence there is at most one in-flight
+:class:`SequenceFlight`, a render job that walks frames forward and
+publishes each one as it completes.  A new range request whose start the
+flight has not passed *joins* it (extending its target if the request
+reaches further); everyone waits on the flight's buffer, so N
+overlapping scrubs cost one incremental render walk.
+
+The flights' jobs execute on a
+:class:`~repro.service.scheduler.RequestScheduler` worker pool — the
+sequence layer adds range semantics and streaming delivery on top of the
+single-flight machinery, it does not replace it.  Publication uses the
+load-linked/store-conditional shape of lock-free coordination: joiners
+*observe* the flight under the registry lock and only the flight's own
+worker advances it, so readers never block the render walk.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import AnimationServiceError, ServiceError
+from repro.service.scheduler import RequestScheduler
+
+#: Published frames a flight keeps buffered for joiners.  The buffer
+#: only needs to cover the gap between the walk and its slowest waiter:
+#: frames the walk has passed are already in the service cache (puts
+#: precede publishes), so evicted entries are served from there.
+DEFAULT_BUFFER_LIMIT = 64
+
+
+class SequenceFlight:
+    """One in-flight streaming render of a frame range.
+
+    The flight renders frames ``first..target-1`` in order;  ``target``
+    is monotonically extendable while the flight runs.  Published frames
+    are buffered in :attr:`frames` for waiters, bounded to the most
+    recent *buffer_limit* entries — anything the walk has passed is in
+    the service's content-addressed cache already, so
+    :meth:`wait_frame` reports evicted/passed frames as ``None`` and the
+    caller falls back to the cache.
+    """
+
+    def __init__(
+        self,
+        sequence_id: str,
+        first: int,
+        target: int,
+        buffer_limit: int = DEFAULT_BUFFER_LIMIT,
+    ):
+        self.sequence_id = sequence_id
+        self.first = int(first)
+        self.target = int(target)
+        self.position = int(first)  # next frame the job will render
+        self.buffer_limit = int(buffer_limit)
+        self.frames: "OrderedDict[int, object]" = OrderedDict()
+        self.cond = threading.Condition()
+        self.done = False
+        self.error: Optional[BaseException] = None
+        self.joiners = 0
+
+    # -- the worker side ---------------------------------------------------------
+    def next_frame(self) -> Optional[int]:
+        """The worker's claim step: the next frame to render, or ``None``.
+
+        Returning ``None`` marks the flight done *under the lock*, so a
+        concurrent :meth:`extend` either lands before (and the walk
+        continues) or observes ``done`` and starts a new flight — the
+        store-conditional that makes join-vs-finish race-free.
+        """
+        with self.cond:
+            if self.position >= self.target:
+                self.done = True
+                self.cond.notify_all()
+                return None
+            return self.position
+
+    def publish(self, frame: int, payload: object) -> None:
+        with self.cond:
+            self.frames[frame] = payload
+            while len(self.frames) > self.buffer_limit:
+                self.frames.popitem(last=False)
+            self.position = frame + 1
+            self.cond.notify_all()
+
+    def finish(self, error: Optional[BaseException] = None) -> None:
+        with self.cond:
+            self.done = True
+            if error is not None:
+                self.error = error
+            self.cond.notify_all()
+
+    # -- the client side ---------------------------------------------------------
+    def try_join(self, start: int, stop: int) -> bool:
+        """Join the flight for ``[start, stop)`` if it can still serve it.
+
+        Joinable iff this flight can still deliver *start* — it is in
+        the buffer, or still ahead of the walk.  A frame the walk has
+        passed and evicted is refused so the registry can start a fresh
+        flight at it instead of waiting on one that will never look
+        back.  Extends the target to *stop* when joining.
+        """
+        with self.cond:
+            if self.done or self.error is not None:
+                return False
+            if start < self.position and start not in self.frames:
+                return False
+            self.target = max(self.target, int(stop))
+            self.joiners += 1
+            return True
+
+    def wait_frame(self, frame: int, timeout: Optional[float] = None):
+        """Block until *frame* is available; returns its payload.
+
+        Returns ``None`` when this flight can no longer deliver *frame*
+        from its buffer — the walk already passed it (buffer eviction or
+        a late join) or finished without reaching it; the caller should
+        fall back to the service cache / a new flight.  Raises the
+        flight's error if the render failed, and
+        :class:`~repro.errors.ServiceError` when *timeout* (a total
+        deadline, not per-publish) expires first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self.cond:
+            while True:
+                if frame in self.frames:
+                    return self.frames[frame]
+                if self.error is not None:
+                    raise self.error
+                if self.done or self.position > frame:
+                    return None
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise ServiceError(
+                            f"timed out waiting for frame {frame} of "
+                            f"{self.sequence_id[:12]}..."
+                        )
+                self.cond.wait(remaining)
+
+
+class SequenceScheduler:
+    """Single-flight registry of streaming sequence renders.
+
+    Parameters
+    ----------
+    scheduler:
+        The worker pool executing flight jobs.  Owned by default; pass
+        ``owns_scheduler=False`` to share a pool with a texture service.
+    """
+
+    def __init__(self, scheduler: Optional[RequestScheduler] = None, owns_scheduler: Optional[bool] = None):
+        self.scheduler = scheduler or RequestScheduler(n_workers=1, name="anim-service")
+        self._owns_scheduler = (scheduler is None) if owns_scheduler is None else owns_scheduler
+        self._flights: Dict[str, SequenceFlight] = {}
+        self._lock = threading.Lock()
+        self._serial = 0
+        self.created = 0
+        self.joined = 0
+
+    def stream(
+        self,
+        sequence_id: str,
+        start: int,
+        stop: int,
+        run: Callable[[SequenceFlight], None],
+    ) -> Tuple[SequenceFlight, bool]:
+        """Join the in-flight render of *sequence_id* or start a new one.
+
+        Returns ``(flight, created)``.  *run* drives the actual frame
+        walk when a flight is created: it must loop on
+        :meth:`SequenceFlight.next_frame` / :meth:`publish`; errors it
+        raises propagate to every waiter.
+        """
+        if stop <= start:
+            raise AnimationServiceError(f"empty stream range [{start}, {stop})")
+        with self._lock:
+            flight = self._flights.get(sequence_id)
+            if flight is not None and flight.try_join(start, stop):
+                self.joined += 1
+                return flight, False
+            flight = SequenceFlight(sequence_id, start, stop)
+            self._flights[sequence_id] = flight
+            self.created += 1
+            self._serial += 1
+            submit_key = f"{sequence_id}#{self._serial}"
+
+        def job() -> None:
+            try:
+                run(flight)
+            except BaseException as exc:  # noqa: BLE001 - delivered to waiters
+                flight.finish(exc)
+                raise
+            finally:
+                flight.finish()
+                with self._lock:
+                    if self._flights.get(sequence_id) is flight:
+                        del self._flights[sequence_id]
+
+        self.scheduler.submit(submit_key, job)
+        return flight, True
+
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._flights)
+
+    def close(self) -> None:
+        if self._owns_scheduler:
+            self.scheduler.close()
+
+    def __enter__(self) -> "SequenceScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,404 @@
+"""The animation streaming front end.
+
+:class:`AnimationService` is to sequences what
+:class:`~repro.service.server.TextureService` is to single textures: it
+binds a field source and one configuration to the full serving stack and
+streams temporally-coherent frames through it.
+
+1. every frame is content-addressed by its
+   :class:`~repro.service.keys.SequenceKey` (rolling field-content
+   chain + config fingerprint + ``dt`` + policy);
+2. the two-tier texture cache answers per-frame hits;
+3. missing ranges coalesce through the
+   :class:`~repro.anim.scheduler.SequenceScheduler` onto one in-flight
+   incremental render walk that streams frames to every joined caller
+   as they complete;
+4. the walk threads pipeline state across frames
+   (:class:`~repro.anim.incremental.IncrementalAnimator`), captures a
+   resumable checkpoint every K frames, and resumes seeks from the
+   nearest checkpoint instead of frame 0;
+5. everything reports into :class:`~repro.service.stats.ServiceStats`.
+
+Responses are bit-identical to one-shot renders of the same
+``(fields, config, dt, frame)`` — the incremental walk performs the
+exact particle/RNG operation sequence of the from-scratch replay, which
+:meth:`AnimationService.verify` (and the ``verify_every`` knob) check
+against :func:`~repro.anim.incremental.one_shot_frame`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.advection.advector import auto_dt
+from repro.advection.lifecycle import LifeCyclePolicy
+from repro.anim.checkpoints import CheckpointStore
+from repro.anim.incremental import FieldSource, IncrementalAnimator, one_shot_frame
+from repro.anim.scheduler import SequenceFlight, SequenceScheduler
+from repro.anim.sequence import FrameSequence
+from repro.core.config import SpotNoiseConfig
+from repro.errors import AnimationServiceError, ServiceError
+from repro.parallel.runtime import DivideAndConquerRuntime
+from repro.service.cache import (
+    DiskBlobStore,
+    DiskTextureCache,
+    LRUTextureCache,
+    TieredTextureCache,
+)
+from repro.service.keys import SequenceKey
+from repro.service.scheduler import RequestScheduler
+from repro.service.server import DEFAULT_MEMORY_BUDGET
+from repro.service.stats import ServiceStats
+
+
+@dataclass(frozen=True)
+class FrameResponse:
+    """One streamed frame.
+
+    ``source`` is ``"memory"``/``"disk"`` for cache tiers, ``"stream"``
+    when this caller's request created the render walk and
+    ``"coalesced"`` when it joined an existing one.
+    """
+
+    frame: int
+    texture: np.ndarray
+    key: SequenceKey
+    source: str
+    latency_s: float
+
+
+class AnimationService:
+    """Request-coalescing, checkpoint-resumable animation streaming.
+
+    Parameters
+    ----------
+    field_source:
+        ``frame -> VectorField2D``; frames must be immutable once served
+        (digest chains are memoised — same contract as
+        ``TextureService(memoize_digests=True)``).
+    config:
+        Seeded synthesis configuration (one service = one sequence).
+    dt:
+        Advection step; ``None`` resolves the automatic step for frame 0
+        eagerly, since the step is part of the sequence identity.
+    policy:
+        Particle life-cycle policy for the whole sequence.
+    length:
+        Optional sequence length for range validation and the manifest.
+    checkpoint_every:
+        Capture a resumable pipeline-state checkpoint every K frames
+        (``0`` disables checkpointing; seeks then replay from frame 0).
+    memory_budget_bytes / disk_dir:
+        Texture cache tiers (checkpoints persist under
+        ``<disk_dir>/checkpoints`` when a disk tier is configured).
+    n_workers:
+        Worker threads driving render walks.  One suffices for a single
+        sequence (a service serves exactly one); more only helps when
+        callers also use the service's pool for other work.
+    verify_every:
+        When > 0, every Nth frame rendered by a walk is re-rendered
+        one-shot and compared bit-for-bit (expensive — a debugging and
+        acceptance-testing knob, not a production default).
+    """
+
+    def __init__(
+        self,
+        field_source: FieldSource,
+        config: SpotNoiseConfig,
+        dt: Optional[float] = None,
+        policy: Optional[LifeCyclePolicy] = None,
+        length: Optional[int] = None,
+        checkpoint_every: int = 8,
+        memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET,
+        disk_dir: "str | None" = None,
+        n_workers: int = 1,
+        verify_every: int = 0,
+        stats: Optional[ServiceStats] = None,
+    ):
+        if checkpoint_every < 0:
+            raise AnimationServiceError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        self.field_source = field_source
+        self.config = config
+        self.policy = policy or LifeCyclePolicy()
+        self.dt = float(dt) if dt is not None else auto_dt(field_source(0))
+        self.sequence = FrameSequence(
+            field_source, config, self.dt, policy=self.policy, length=length
+        )
+        self.checkpoint_every = int(checkpoint_every)
+        self.verify_every = int(verify_every)
+        self.stats = stats or ServiceStats()
+        disk = DiskTextureCache(disk_dir) if disk_dir else None
+        self.cache = TieredTextureCache(LRUTextureCache(memory_budget_bytes), disk)
+        blob = DiskBlobStore(os.path.join(disk_dir, "checkpoints")) if disk_dir else None
+        self.checkpoints = CheckpointStore(disk=blob)
+        self.runtime = DivideAndConquerRuntime(config)
+        self.scheduler = SequenceScheduler(
+            RequestScheduler(n_workers=n_workers, name="anim-service"),
+            owns_scheduler=True,  # close() must join the walk workers
+        )
+        self.stats.queue_depth_probe = self.scheduler.scheduler.queue_depth
+        self._disk_dir = disk_dir
+        self._sequence_id = (
+            f"{config.fingerprint()}|{self.dt!r}|{self.sequence._policy_token}"
+        )
+        self._animator_lock = threading.Lock()
+        self._idle_animator: Optional[IncrementalAnimator] = None
+        self._book_lock = threading.Lock()
+        self._cached_frames: Dict[int, str] = {}
+        self._checkpoint_boundaries: Set[int] = set()
+        self._closed = False
+
+    # -- construction helpers ----------------------------------------------------
+    @classmethod
+    def for_store(cls, store, config: SpotNoiseConfig, **kwargs) -> "AnimationService":
+        """Stream a :class:`~repro.apps.dns.store.ChunkedFieldStore`."""
+        kwargs.setdefault("length", len(store))
+        return cls(store.read, config, **kwargs)
+
+    # -- the request path --------------------------------------------------------
+    def stream(
+        self, start: int, stop: int, timeout: Optional[float] = None
+    ) -> Iterator[FrameResponse]:
+        """Yield frames ``start..stop-1`` as they become available.
+
+        Cached frames are yielded immediately; the first miss joins (or
+        creates) the sequence's in-flight render walk and the remaining
+        frames stream out as the walk completes them.  The iterator is
+        lazy — frames render ahead of consumption, but nothing blocks
+        until the caller pulls.  (Validation is eager: a closed service
+        or bad range raises here, not at the first ``next()``.)
+        """
+        if self._closed:
+            raise ServiceError("animation service is closed")
+        if stop <= start:
+            raise AnimationServiceError(f"empty stream range [{start}, {stop})")
+        self.sequence.check_frame(start)
+        self.sequence.check_frame(stop - 1)
+        return self._stream(start, stop, timeout)
+
+    def _stream(
+        self, start: int, stop: int, timeout: Optional[float]
+    ) -> Iterator[FrameResponse]:
+        flight: Optional[SequenceFlight] = None
+        flight_source = "stream"
+        for t in range(start, stop):
+            t0 = time.perf_counter()
+            self.stats.record_request()
+            try:
+                digest = self.sequence.frame_digest(t)
+                texture = None
+                source = "memory"
+                # Bounded retry: a flight can pass `t` after evicting it
+                # from its buffer (or finish early); the frame is then in
+                # the cache — unless the memory tier evicted it too, in
+                # which case a fresh flight re-renders it.
+                for _ in range(8):
+                    texture, tier = self.cache.get(digest)
+                    if texture is not None:
+                        source = tier or "memory"
+                        break
+                    if flight is None or not flight.try_join(t, stop):
+                        flight, created = self.scheduler.stream(
+                            self._sequence_id, t, stop, self._run_flight
+                        )
+                        flight_source = "stream" if created else "coalesced"
+                    texture = flight.wait_frame(t, timeout)
+                    if texture is not None:
+                        source = flight_source
+                        break
+                    flight = None  # the walk passed us; fall back to cache
+                if texture is None:
+                    raise AnimationServiceError(
+                        f"could not materialise frame {t}: render walks kept "
+                        "outpacing this consumer (cache tier too small?)"
+                    )
+            except Exception:
+                self.stats.record_error()
+                raise
+            latency = time.perf_counter() - t0
+            self.stats.record_response(source, latency)
+            yield FrameResponse(
+                frame=t,
+                texture=texture,
+                key=self.sequence.frame_key(t),
+                source=source,
+                latency_s=latency,
+            )
+
+    def request(self, frame: int, timeout: Optional[float] = None) -> FrameResponse:
+        """Serve a single frame (a one-frame :meth:`stream`)."""
+        return next(iter(self.stream(frame, frame + 1, timeout=timeout)))
+
+    def prefetch(self, start: int, stop: int) -> bool:
+        """Kick off (or extend) a render walk without waiting.
+
+        Returns ``True`` when a new walk was created, ``False`` when the
+        range joined an existing one or was already fully cached.
+        """
+        if self._closed:
+            raise ServiceError("animation service is closed")
+        self.sequence.check_frame(start)
+        self.sequence.check_frame(stop - 1)
+        for t in range(start, stop):
+            if self.cache.get(self.sequence.frame_digest(t))[0] is None:
+                _, created = self.scheduler.stream(
+                    self._sequence_id, t, stop, self._run_flight
+                )
+                return created
+        return False
+
+    def verify(self, frame: int) -> bool:
+        """Serve *frame* and compare it bit-for-bit with a one-shot render."""
+        response = self.request(frame)
+        reference = one_shot_frame(
+            self.config,
+            self.field_source,
+            frame,
+            dt=self.dt,
+            policy=self.policy,
+            runtime=self.runtime,
+        )
+        return bool(np.array_equal(response.texture, reference.display))
+
+    # -- the render walk ---------------------------------------------------------
+    def _run_flight(self, flight: SequenceFlight) -> None:
+        animator = self._acquire_animator(flight.first)
+        try:
+            while True:
+                t = flight.next_frame()
+                if t is None:
+                    break
+                digest = self.sequence.frame_digest(t)
+                cached, _ = self.cache.get(digest)
+                if cached is not None:
+                    # Someone materialised this frame earlier: one cheap
+                    # advection keeps the walk's state coherent, no splat.
+                    animator.advance_to(t + 1)
+                    self._bookkeep(t, digest, animator)
+                    flight.publish(t, cached)
+                    continue
+                animator.advance_to(t)
+                r0 = time.perf_counter()
+                result = animator.render_next()
+                self.stats.record_render(None, time.perf_counter() - r0)
+                if self.verify_every and result.frame_index % self.verify_every == 0:
+                    animator.verify_frame(result)
+                self.cache.put(digest, result.display)
+                self._bookkeep(t, digest, animator)
+                flight.publish(t, result.display)
+        except BaseException:
+            # The animator may have mutated evolution state for a frame
+            # it never finished (e.g. a backend failure mid-synthesis);
+            # pooling it would let a later walk advect that frame twice
+            # and cache wrong bytes under correct keys.  Discard it.
+            animator.close()
+            raise
+        self._release_animator(animator)
+
+    def _bookkeep(self, t: int, digest: str, animator: IncrementalAnimator) -> None:
+        """Record frame *t* and capture the boundary checkpoint if due.
+
+        Runs for rendered *and* cache-hit frames: a walk over a warm
+        disk tier must still leave resume points and an honest manifest.
+        """
+        with self._book_lock:
+            self._cached_frames[t] = digest
+        boundary = t + 1
+        if self.checkpoint_every and boundary % self.checkpoint_every == 0:
+            state_digest = self.sequence.checkpoint_digest(boundary)
+            if state_digest not in self.checkpoints:
+                self.checkpoints.put(state_digest, animator.state())
+            with self._book_lock:
+                self._checkpoint_boundaries.add(boundary)
+
+    # -- animator pooling and checkpoint restore ---------------------------------
+    def _nearest_checkpoint(self, frame: int) -> "Tuple[int, Optional[object]]":
+        """Best resume point at or below *frame*: (boundary, state|None)."""
+        if self.checkpoint_every:
+            boundary = (frame // self.checkpoint_every) * self.checkpoint_every
+            while boundary >= self.checkpoint_every:
+                state = self.checkpoints.get(self.sequence.checkpoint_digest(boundary))
+                if state is not None:
+                    return boundary, state
+                boundary -= self.checkpoint_every
+        return 0, None
+
+    def _acquire_animator(self, first: int) -> IncrementalAnimator:
+        with self._animator_lock:
+            animator, self._idle_animator = self._idle_animator, None
+        if animator is None:
+            animator = IncrementalAnimator(
+                self.config,
+                self.field_source,
+                dt=self.dt,
+                policy=self.policy,
+                runtime=self.runtime,
+            )
+            position = 0
+        else:
+            position = animator.position
+        boundary, state = self._nearest_checkpoint(first)
+        # The idle animator's own position is a "checkpoint" too — reuse
+        # it when it is the closest resume point not past `first` (the
+        # hot path for forward scrubbing).
+        if boundary <= position <= first:
+            return animator
+        if state is not None:
+            animator.restore(state)
+        else:
+            animator.reset()
+        return animator
+
+    def _release_animator(self, animator: IncrementalAnimator) -> None:
+        with self._animator_lock:
+            if self._idle_animator is None and not self._closed:
+                self._idle_animator = animator
+                return
+        animator.close()
+
+    # -- observability -----------------------------------------------------------
+    def manifest(self) -> dict:
+        """The sequence manifest: identity, cached frames, checkpoints."""
+        with self._book_lock:
+            cached = dict(self._cached_frames)
+            boundaries: List[int] = sorted(self._checkpoint_boundaries)
+        return self.sequence.manifest(cached_frames=cached, checkpoints=boundaries)
+
+    def write_manifest(self) -> Optional[str]:
+        """Persist the manifest next to the disk cache (no-op when memory-only)."""
+        if not self._disk_dir:
+            return None
+        with self._book_lock:
+            cached = dict(self._cached_frames)
+            boundaries = sorted(self._checkpoint_boundaries)
+        return self.sequence.write_manifest(
+            self._disk_dir, cached_frames=cached, checkpoints=boundaries
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.scheduler.close()
+        with self._animator_lock:
+            animator, self._idle_animator = self._idle_animator, None
+        if animator is not None:
+            animator.close()
+        self.runtime.close()
+        if self._disk_dir:
+            self.write_manifest()
+
+    def __enter__(self) -> "AnimationService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

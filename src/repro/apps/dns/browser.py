@@ -112,3 +112,40 @@ class DataBrowser:
         from repro.service.server import TextureService
 
         return TextureService.for_store(self.store, config, **kwargs)
+
+    def animation_service(self, config, dt: Optional[float] = None, **kwargs):
+        """An :class:`~repro.anim.service.AnimationService` over this store.
+
+        Scrubbing the database as an *animation*: frames come from one
+        particle population advecting through the stored time series, so
+        playback is temporally coherent (the paper's animated browsing,
+        not independent stills).  Use :meth:`scrub` for the common
+        drag-the-slider access pattern; concurrent overlapping scrubs
+        coalesce onto a single incremental render walk.
+        """
+        from repro.anim.service import AnimationService
+
+        return AnimationService.for_store(self.store, config, dt=dt, **kwargs)
+
+    def scrub(self, service, start: int, stop: Optional[int] = None, stride: int = 1):
+        """Play ``[start, stop)`` through an animation *service*.
+
+        The streaming analogue of :meth:`play`: yields
+        ``(FrameResponse, scalar_or_None)`` pairs, deriving this
+        browser's scalar drape per frame client-side (drapes are a cheap
+        colormap pass; only the flow texture is worth caching).  The
+        browser's position follows the scrub, like :meth:`play`.
+        """
+        stop = len(self.store) if stop is None else stop
+        if stride < 1:
+            raise ApplicationError(f"stride must be >= 1, got {stride}")
+        if not (0 <= start < len(self.store)) or stop > len(self.store):
+            raise ApplicationError(
+                f"scrub range [{start}, {stop}) outside the database "
+                f"[0, {len(self.store)})"
+            )
+        for t in range(start, stop, stride):
+            self.position = t
+            response = service.request(t)
+            scalar = self.mapping.derive(self.store.read(t))
+            yield response, scalar

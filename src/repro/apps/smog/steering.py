@@ -159,3 +159,27 @@ class SteeredSmogApplication:
 
         kwargs.setdefault("memoize_digests", True)
         return TextureService(self.read_history, config, **kwargs)
+
+    def animation_service(self, config, dt: Optional[float] = None, **kwargs):
+        """An :class:`~repro.anim.service.AnimationService` over the history.
+
+        Steering *against the stream*: the simulation keeps appending
+        wind frames while dashboard clients replay and scrub the session
+        as a temporally-coherent animation — spots advect through the
+        steered history instead of being re-seeded per frame, so cause
+        and effect of a steering action stay visible in the texture.
+        Overlapping scrubs join one in-flight render walk, and renders
+        resume from the nearest pipeline-state checkpoint instead of
+        replaying from frame 0.
+
+        Create the service *early* in a long session: frame identities
+        are rolling digests over the field history, memoised as frames
+        are first served.  Frames whose digests were never observed
+        cannot be keyed once the bounded history evicts them (the
+        underlying :class:`~repro.errors.SteeringError` surfaces on
+        request), so a service attached after eviction started can only
+        serve the surviving window.
+        """
+        from repro.anim.service import AnimationService
+
+        return AnimationService(self.read_history, config, dt=dt, **kwargs)

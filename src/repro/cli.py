@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands expose the reproduction's headline artefacts without
+Five subcommands expose the reproduction's headline artefacts without
 writing any code:
 
 * ``tables`` — regenerate Tables 1 and 2 from the machine model;
@@ -11,7 +11,11 @@ writing any code:
 * ``serve-bench`` — replay a recorded request trace (uniform, Zipf or
   scrubbing) against the texture serving subsystem and report cache hit
   rate, coalesce rate, latency percentiles and the speedup over the
-  no-cache path.
+  no-cache path;
+* ``anim-bench`` — replay a scrub/replay trace of *animation* frames
+  against the streaming subsystem (:mod:`repro.anim`) and report the
+  frames/s win over the per-frame no-reuse path, plus a sampled
+  bit-identity check of incremental vs one-shot frames.
 
 Installed as ``repro-spotnoise`` (or run ``python -m repro.cli``).
 """
@@ -206,6 +210,118 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_anim_bench(args: argparse.Namespace) -> int:
+    # Imports deferred: the streaming stack pulls in the whole pipeline.
+    import time
+
+    from repro.anim import AnimationService, one_shot_frame
+    from repro.core.config import SpotNoiseConfig
+    from repro.fields.analytic import random_smooth_field
+    from repro.service import replay, scrubbing_trace
+
+    config = SpotNoiseConfig(
+        n_spots=args.spots,
+        texture_size=args.size,
+        spot_mode="standard",
+        seed=args.seed,
+    )
+
+    if args.store:
+        from repro.apps.dns.store import ChunkedFieldStore
+
+        store = ChunkedFieldStore(args.store)
+        n_frames = min(args.frames, len(store)) or len(store)
+        source = store.read
+        source_label = f"store {args.store} ({len(store)} frames)"
+    else:
+        n_frames = args.frames
+        field_cache = {}
+
+        def source(frame: int):
+            if frame not in field_cache:
+                field_cache[frame] = random_smooth_field(
+                    seed=args.seed + 1000 + frame, n=args.grid
+                )
+            return field_cache[frame]
+
+        source_label = f"analytic random fields ({n_frames} frames, n={args.grid})"
+
+    if args.trace == "replay":
+        # Sequential playthroughs — the data-browser "play through any
+        # part of the data base" pattern.
+        trace = [t % n_frames for t in range(args.requests)]
+    else:
+        trace = scrubbing_trace(args.requests, n_frames, seed=args.seed)
+    distinct = len(set(trace))
+
+    print(f"anim-bench: {args.trace} trace, {args.requests} requests over "
+          f"{n_frames} frames ({distinct} distinct), {args.clients} clients")
+    print(f"source: {source_label}; config: {config.n_spots} spots, "
+          f"{config.texture_size}px; checkpoints every {args.checkpoint_every}")
+
+    with AnimationService(
+        source,
+        config,
+        length=n_frames,
+        checkpoint_every=args.checkpoint_every,
+        memory_budget_bytes=args.mem_mb << 20,
+        disk_dir=args.disk or None,
+        n_workers=args.workers,
+    ) as service:
+        # The same shared-cursor replay harness serve-bench uses; the
+        # one-shot verifier replays the frame's whole field prefix.
+        result = replay(
+            service,
+            trace,
+            n_clients=args.clients,
+            verify_fresh=(
+                lambda f: one_shot_frame(
+                    config, source, f, dt=service.dt, runtime=service.runtime
+                ).display
+            )
+            if args.verify_sample > 0
+            else None,
+            verify_sample=args.verify_sample,
+        )
+        report = service.stats.report()
+        renders = service.stats.renders
+        dt = service.dt
+
+    streamed_fps = result.throughput_rps
+
+    print()
+    print(report)
+    print()
+    print(f"streamed path:  {streamed_fps:8.1f} frames/s "
+          f"({result.duration_s * 1e3:.0f} ms wall), {renders} incremental "
+          f"renders for {distinct} distinct frames")
+    if args.verify_sample > 0:
+        print(f"incremental frames bit-identical to one-shot renders: "
+              f"{'yes' if result.bit_identical else 'NO'} "
+              f"({min(args.verify_sample, distinct)} sampled)")
+
+    # The per-frame no-reuse path: what a service that treats every
+    # animation frame as independent must pay — a fresh pipeline and a
+    # full prefix replay per request (frame t depends on fields 0..t).
+    baseline_n = min(len(trace), args.baseline_requests)
+    from repro.parallel.runtime import DivideAndConquerRuntime
+
+    runtime = DivideAndConquerRuntime(config)
+    t0 = time.perf_counter()
+    for frame in trace[:baseline_n]:
+        one_shot_frame(config, source, frame, dt=dt, runtime=runtime)
+    baseline_s = time.perf_counter() - t0
+    runtime.close()
+    baseline_fps = baseline_n / baseline_s if baseline_s > 0 else float("inf")
+    print(f"per-frame path: {baseline_fps:8.1f} frames/s "
+          f"(measured on the first {baseline_n} requests, full prefix replay each)")
+    speedup = streamed_fps / baseline_fps if baseline_fps else float("inf")
+    print(f"speedup: {speedup:.1f}x")
+    if args.verify_sample > 0 and not result.bit_identical:
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-spotnoise",
@@ -276,6 +392,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--no-verify", dest="verify", action="store_false",
                          help="skip the cached-vs-fresh bit-identity check")
     p_serve.set_defaults(fn=_cmd_serve_bench, verify=True)
+
+    p_anim = sub.add_parser(
+        "anim-bench",
+        help="replay an animation trace against the streaming subsystem",
+    )
+    p_anim.add_argument(
+        "--trace", choices=("scrub", "replay"), default="scrub",
+        help="slider scrubbing (random walk with jumps) or sequential replay",
+    )
+    p_anim.add_argument("--requests", "-n", type=int, default=256)
+    p_anim.add_argument("--frames", type=int, default=64, help="sequence length")
+    p_anim.add_argument("--clients", "-c", type=int, default=2,
+                        help="concurrent client threads")
+    p_anim.add_argument("--workers", type=int, default=1,
+                        help="render-walk worker threads")
+    p_anim.add_argument("--spots", type=int, default=800)
+    p_anim.add_argument("--size", type=int, default=128, help="texture size (px)")
+    p_anim.add_argument("--grid", type=int, default=48, help="analytic field grid n")
+    p_anim.add_argument("--checkpoint-every", type=int, default=8,
+                        help="pipeline-state checkpoint interval (frames)")
+    p_anim.add_argument("--mem-mb", type=int, default=64, help="memory tier budget")
+    p_anim.add_argument("--disk", default="", help="optional disk cache directory")
+    p_anim.add_argument("--store", default="",
+                        help="stream frames from a ChunkedFieldStore directory "
+                             "instead of analytic fields")
+    p_anim.add_argument("--seed", type=int, default=0)
+    p_anim.add_argument("--baseline-requests", type=int, default=24,
+                        help="trace prefix length timed on the no-reuse path")
+    p_anim.add_argument("--verify-sample", type=int, default=3,
+                        help="frames re-rendered one-shot for the bit-identity "
+                             "check (0 disables)")
+    p_anim.set_defaults(fn=_cmd_anim_bench)
 
     return parser
 

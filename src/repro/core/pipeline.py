@@ -13,6 +13,7 @@ simulation and visualisation.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Optional
 
@@ -178,6 +179,82 @@ class SpotNoisePipeline:
                     display, scalar01, colormap or rainbow(), mask
                 )
             return display, rgb
+
+    # -- stages 1-2 without synthesis --------------------------------------------
+    def advance_only(self, field: Optional[VectorField2D] = None) -> None:
+        """Run stages 1-2 and count the frame without synthesising.
+
+        Used to fast-forward to a frame of interest: the evolution state
+        (particles, RNG) after ``advance_only`` is bit-identical to the
+        state after a full :meth:`step`, because stages 3-4 never touch
+        it.  The animation streaming layer (:mod:`repro.anim`) replays
+        skipped frames this way when resuming a sequence.
+        """
+        if field is not None:
+            self.read_data(field)
+        self.advect()
+        self.frame_index += 1
+
+    # -- evolution state capture/restore -----------------------------------------
+    def capture_state(self) -> dict:
+        """Snapshot everything that evolves across frames.
+
+        The snapshot covers the particle population (positions,
+        intensities, ages, lifetimes), the RNG state (one generator is
+        threaded through seeding, advection and respawning), the frame
+        counter and the advection step.  Restoring it into a pipeline
+        built from the same configuration reproduces subsequent frames
+        bit-for-bit — the contract the resumable sequence checkpoints of
+        :mod:`repro.anim` rely on.
+        """
+        return {
+            "positions": self.particles.positions.copy(),
+            "intensities": self.particles.intensities.copy(),
+            "ages": self.particles.ages.copy(),
+            "lifetimes": self.particles.lifetimes.copy(),
+            "rng_state": copy.deepcopy(self.rng.bit_generator.state),
+            "frame_index": int(self.frame_index),
+            "dt": float(self.advector.dt),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Install a :meth:`capture_state` snapshot into this pipeline.
+
+        The pipeline must have been built from the same configuration
+        (same particle count and RNG family); the snapshot overwrites the
+        particle arrays in place, the generator state, the frame counter
+        and the advection step.  Restoration is atomic: everything is
+        validated (and the fallible RNG-state install performed) before
+        the first in-place array write, so a rejected snapshot leaves
+        the pipeline exactly as it was.
+        """
+        positions = np.asarray(state["positions"], dtype=np.float64)
+        if positions.shape != self.particles.positions.shape:
+            raise PipelineError(
+                f"state holds {positions.shape[0]} particles; pipeline was built "
+                f"for {len(self.particles)} — configurations do not match"
+            )
+        n = len(self.particles)
+        intensities = np.asarray(state["intensities"], dtype=np.float64)
+        ages = np.asarray(state["ages"], dtype=np.int64)
+        lifetimes = np.asarray(state["lifetimes"], dtype=np.int64)
+        for name, arr in (("intensities", intensities), ("ages", ages), ("lifetimes", lifetimes)):
+            if arr.shape != (n,):
+                raise PipelineError(
+                    f"state {name} has shape {arr.shape}, expected ({n},)"
+                )
+        frame_index = int(state["frame_index"])
+        dt = float(state["dt"])
+        try:
+            self.rng.bit_generator.state = state["rng_state"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PipelineError(f"incompatible RNG state in snapshot: {exc}") from exc
+        self.particles.positions[:] = positions
+        self.particles.intensities[:] = intensities
+        self.particles.ages[:] = ages
+        self.particles.lifetimes[:] = lifetimes
+        self.frame_index = frame_index
+        self.advector.dt = dt
 
     # -- whole frame -------------------------------------------------------------
     def step(

@@ -61,6 +61,10 @@ class AdmissionError(ServiceError):
     """Request rejected by the serving layer's admission control."""
 
 
+class AnimationServiceError(ServiceError):
+    """Animation streaming subsystem failure (sequence, checkpoint, stream)."""
+
+
 class ApplicationError(ReproError):
     """Error in one of the driving applications (smog, DNS)."""
 

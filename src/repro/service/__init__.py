@@ -22,12 +22,27 @@ renderer itself is not rendering at all:
   and the replay harness behind ``repro.cli serve-bench``.
 
 Every future scaling layer (sharding, multi-process serving, an HTTP
-front end) plugs in above :class:`TextureService`.
+front end) plugs in above :class:`TextureService`.  Sequence traffic —
+temporally-coherent animation frames, which depend on every field
+before them — is served by the sibling subsystem :mod:`repro.anim`,
+which builds on this module's keys, caches and single-flight scheduler
+(see :meth:`TextureService.animation_service`).
 """
 
 from repro.service.admission import AdmissionController, LatencyPredictor
-from repro.service.cache import DiskTextureCache, LRUTextureCache, TieredTextureCache
-from repro.service.keys import RequestKey, TileSpec, request_key
+from repro.service.cache import (
+    DiskBlobStore,
+    DiskTextureCache,
+    LRUTextureCache,
+    TieredTextureCache,
+)
+from repro.service.keys import (
+    RequestKey,
+    SequenceKey,
+    TileSpec,
+    chain_digest,
+    request_key,
+)
 from repro.service.scheduler import RenderTicket, RequestScheduler
 from repro.service.server import FrameRenderer, TextureResponse, TextureService
 from repro.service.stats import ServiceStats
@@ -43,11 +58,14 @@ from repro.service.trace import (
 __all__ = [
     "AdmissionController",
     "LatencyPredictor",
+    "DiskBlobStore",
     "DiskTextureCache",
     "LRUTextureCache",
     "TieredTextureCache",
     "RequestKey",
+    "SequenceKey",
     "TileSpec",
+    "chain_digest",
     "request_key",
     "RenderTicket",
     "RequestScheduler",

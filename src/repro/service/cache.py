@@ -105,20 +105,21 @@ class LRUTextureCache:
             self._nbytes = 0
 
 
-class DiskTextureCache:
-    """Content-addressed on-disk texture tier.
+class DiskBlobStore:
+    """Content-addressed on-disk store of named-array bundles.
 
-    Each entry is ``<digest>.npz`` holding the exact float64 texture;
+    Each entry is ``<digest>.npz`` holding a ``{name: array}`` bundle;
     writes go through a same-directory temp file and ``os.replace`` so
     readers never observe a partial entry.  A corrupt or truncated file
     (e.g. from a pre-atomic-write era or disk fault) is treated as a
-    miss and removed.
+    miss and removed.  :class:`DiskTextureCache` is the one-texture
+    specialisation; the animation layer's pipeline-state checkpoints
+    (:mod:`repro.anim`) use bundles directly.
     """
 
-    def __init__(self, directory: "str | os.PathLike", preview_pgm: bool = False):
+    def __init__(self, directory: "str | os.PathLike"):
         self.directory = os.fspath(directory)
         os.makedirs(self.directory, exist_ok=True)
-        self.preview_pgm = preview_pgm
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -126,41 +127,77 @@ class DiskTextureCache:
     def _path(self, digest: str) -> str:
         return os.path.join(self.directory, f"{digest}.npz")
 
-    def get(self, digest: str) -> Optional[np.ndarray]:
+    def _drop_corrupt(self, path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def get(self, digest: str) -> "Optional[dict[str, np.ndarray]]":
         path = self._path(digest)
         try:
             with np.load(path, allow_pickle=False) as archive:
-                texture = np.asarray(archive["texture"], dtype=np.float64)
+                bundle = {name: np.asarray(archive[name]) for name in archive.files}
         except FileNotFoundError:
             with self._lock:
                 self.misses += 1
             return None
         except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
             # Corrupt entry: drop it and report a miss.
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+            self._drop_corrupt(path)
             with self._lock:
                 self.misses += 1
             return None
         with self._lock:
             self.hits += 1
-        return texture
+        return bundle
 
-    def put(self, digest: str, texture: np.ndarray) -> bool:
-        payload = np.asarray(texture, dtype=np.float64)
+    def put(self, digest: str, arrays: "dict[str, np.ndarray]") -> bool:
+        payload = {name: np.asarray(a) for name, a in arrays.items()}
         atomic_write(
             self._path(digest),
-            lambda fh: np.savez_compressed(fh, texture=payload),
+            lambda fh: np.savez_compressed(fh, **payload),
         )
-        if self.preview_pgm:
-            preview = np.clip(texture, 0.0, 1.0)
-            write_pgm(os.path.join(self.directory, f"{digest}.pgm"), preview)
         return True
 
     def __contains__(self, digest: str) -> bool:
         return os.path.exists(self._path(digest))
+
+
+class DiskTextureCache(DiskBlobStore):
+    """Content-addressed on-disk texture tier.
+
+    The one-texture specialisation of :class:`DiskBlobStore` (entries
+    are ``{"texture": float64 array}`` bundles, so the two share the
+    atomic-write and corrupt-entry contract in one place), with an
+    optional human-browsable PGM preview per entry.
+    """
+
+    def __init__(self, directory: "str | os.PathLike", preview_pgm: bool = False):
+        super().__init__(directory)
+        self.preview_pgm = preview_pgm
+
+    def get(self, digest: str) -> Optional[np.ndarray]:  # type: ignore[override]
+        bundle = super().get(digest)
+        if bundle is None:
+            return None
+        texture = bundle.get("texture")
+        if texture is None:
+            # A foreign bundle under a texture digest: corrupt for this
+            # tier's purposes.
+            self._drop_corrupt(self._path(digest))
+            with self._lock:
+                self.hits -= 1
+                self.misses += 1
+            return None
+        return np.asarray(texture, dtype=np.float64)
+
+    def put(self, digest: str, texture: np.ndarray) -> bool:  # type: ignore[override]
+        super().put(digest, {"texture": np.asarray(texture, dtype=np.float64)})
+        if self.preview_pgm:
+            preview = np.clip(texture, 0.0, 1.0)
+            write_pgm(os.path.join(self.directory, f"{digest}.pgm"), preview)
+        return True
 
     def nbytes_on_disk(self) -> int:
         total = 0

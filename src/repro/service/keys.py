@@ -13,6 +13,12 @@ Tile requests (a rectangular crop of the final texture, for map-style
 pan/zoom clients) share the *render* key of their full frame: the full
 texture is rendered and cached once, crops are sliced from it.  The tile
 only participates in the request identity, never in the render identity.
+
+Animation frames need a different identity: frame *t* of a temporally-
+coherent sequence depends on every field the particles advected through,
+so :class:`SequenceKey` addresses it by a rolling :func:`chain_digest`
+over the per-frame field digests plus the advection step and life-cycle
+policy (see :mod:`repro.anim.sequence` for the layer that builds these).
 """
 
 from __future__ import annotations
@@ -99,6 +105,76 @@ class RequestKey:
         if self.tile is None:
             return self
         return replace(self, tile=None)
+
+
+def chain_digest(previous: Optional[str], field_digest_hex: str) -> str:
+    """Extend a sequence's rolling field digest by one frame.
+
+    ``chain_digest(None, d0)`` starts a chain; ``chain_digest(c, d)``
+    appends.  The chain value after frame *t* commits to the *ordered*
+    field contents of frames ``0..t``, so it is the data half of a
+    :class:`SequenceKey`: frame *t* of a temporally-coherent animation
+    depends on every field the particles advected through, not just the
+    one splatted last.  Two sequences sharing a prefix share chain
+    values (and hence cached frames and checkpoints) for that prefix.
+    """
+    canon = f"{previous or 'root'}>{field_digest_hex}"
+    return hashlib.sha256(canon.encode("ascii")).hexdigest()
+
+
+@dataclass(frozen=True)
+class SequenceKey:
+    """Canonical identity of one frame of an animation sequence.
+
+    A sequence frame is a pure function of four things: the ordered
+    field contents up to and including this frame (``field_chain``, a
+    :func:`chain_digest` value), the synthesis configuration, the
+    advection step ``dt`` and the evolution-policy token (life-cycle
+    knobs are not part of :meth:`SpotNoiseConfig.fingerprint` but do
+    change every frame after the first).  As with :class:`RequestKey`,
+    the frame index itself is carried for observability only — the chain
+    already commits to the frame's position in the sequence.
+
+    ``digest`` addresses the frame's rendered texture; ``state_digest``
+    addresses the pipeline-state checkpoint captured *after* this frame
+    (i.e. the state a resumed render needs to produce frame ``frame+1``).
+    """
+
+    field_chain: str
+    config_fingerprint: str
+    frame: int
+    dt: float
+    policy_token: str = "default"
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 digest addressing this frame's texture."""
+        canon = (
+            f"seq|{self.field_chain}|{self.config_fingerprint}|"
+            f"{self.dt!r}|{self.policy_token}"
+        )
+        return hashlib.sha256(canon.encode("ascii")).hexdigest()
+
+    @property
+    def state_digest(self) -> str:
+        """SHA-256 digest addressing the post-frame pipeline checkpoint."""
+        canon = (
+            f"seqstate|{self.field_chain}|{self.config_fingerprint}|"
+            f"{self.dt!r}|{self.policy_token}"
+        )
+        return hashlib.sha256(canon.encode("ascii")).hexdigest()
+
+
+def policy_token(policy) -> str:
+    """Canonical token of a :class:`~repro.advection.lifecycle.LifeCyclePolicy`.
+
+    Keyed explicitly (not ``repr``) so unrelated future fields with
+    defaults cannot silently change existing sequence identities.
+    """
+    return (
+        f"{policy.position_mode}|{policy.boundary}|"
+        f"{policy.lifetime}|{policy.fade_frames}"
+    )
 
 
 def request_key(

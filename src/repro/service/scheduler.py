@@ -18,35 +18,38 @@ from __future__ import annotations
 
 import queue
 import threading
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ServiceError
 
 
 class RenderTicket:
-    """Handle on one in-flight render; many requests may wait on it."""
+    """Handle on one in-flight render; many requests may wait on it.
+
+    The payload is opaque to the scheduler: texture serving stores a
+    numpy array, the sequence layer (:mod:`repro.anim.scheduler`) runs
+    whole streaming jobs through the same pool and ignores the ticket
+    result entirely (frames flow through the flight's own buffer).
+    """
 
     def __init__(self, key: str):
         self.key = key
         self.waiters = 1
         self._done = threading.Event()
-        self._result: Optional[np.ndarray] = None
+        self._result: Any = None
         self._error: Optional[BaseException] = None
 
-    def _finish(self, result: Optional[np.ndarray], error: Optional[BaseException]) -> None:
+    def _finish(self, result: Any, error: Optional[BaseException]) -> None:
         self._result = result
         self._error = error
         self._done.set()
 
-    def wait(self, timeout: Optional[float] = None) -> np.ndarray:
+    def wait(self, timeout: Optional[float] = None) -> Any:
         """Block until the render completes; re-raises its exception."""
         if not self._done.wait(timeout):
             raise ServiceError(f"timed out waiting for render {self.key[:12]}...")
         if self._error is not None:
             raise self._error
-        assert self._result is not None
         return self._result
 
 
@@ -90,7 +93,7 @@ class RequestScheduler:
 
     # -- submission ---------------------------------------------------------------
     def submit(
-        self, key: str, render: Callable[[], np.ndarray]
+        self, key: str, render: Callable[[], Any]
     ) -> Tuple[RenderTicket, bool]:
         """Coalesce onto an in-flight render of *key* or enqueue a new one.
 
@@ -116,7 +119,7 @@ class RequestScheduler:
         return ticket, True
 
     def submit_many(
-        self, items: Sequence[Tuple[str, Callable[[], np.ndarray]]]
+        self, items: Sequence[Tuple[str, Callable[[], Any]]]
     ) -> List[Tuple[RenderTicket, bool]]:
         """Batch submit; duplicates within the batch coalesce too."""
         return [self.submit(key, render) for key, render in items]
@@ -134,7 +137,7 @@ class RequestScheduler:
             if item is _SENTINEL:
                 return
             key, render, ticket = item  # type: ignore[misc]
-            result: Optional[np.ndarray] = None
+            result: Any = None
             error: Optional[BaseException] = None
             try:
                 result = render()

@@ -303,6 +303,23 @@ class TextureService:
             scheduled += int(created)
         return scheduled
 
+    # -- the sequence-streaming sibling ------------------------------------------
+    def animation_service(self, dt: Optional[float] = None, **kwargs):
+        """An :class:`~repro.anim.service.AnimationService` over the same
+        source and config.
+
+        Point requests stay on this service; temporally-coherent
+        sequence traffic (scrubbing, replay, steering dashboards) goes
+        to the sibling, which threads pipeline state across frames
+        instead of treating every frame as independent.  The two address
+        different content (a sequence frame depends on every field
+        before it), so they never share cache entries even when handed
+        the same ``disk_dir``.
+        """
+        from repro.anim.service import AnimationService
+
+        return AnimationService(self.field_source, self.config, dt=dt, **kwargs)
+
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:
         if self._closed:

@@ -151,7 +151,10 @@ class ServiceStats:
             f"requests: {snap['requests']} "
             f"(renders {snap['renders']}, sheds {snap['sheds']}, errors {snap['errors']})",
             "served:   "
-            + ", ".join(f"{s}={by_source.get(s, 0)}" for s in SOURCES),
+            + ", ".join(
+                f"{s}={by_source.get(s, 0)}"
+                for s in (*SOURCES, *sorted(set(by_source) - set(SOURCES)))
+            ),
             f"rates:    hit {snap['hit_rate']:.1%}, coalesce {snap['coalesce_rate']:.1%}, "
             f"queue depth {snap['queue_depth']}",
         ]
@@ -159,7 +162,7 @@ class ServiceStats:
         lines.append(
             f"latency:  p50 {lat['p50'] * 1e3:.2f} ms, p95 {lat['p95'] * 1e3:.2f} ms"
         )
-        if snap["renders"]:
+        if snap["renders"] and snap["actual_render_s"]:
             lines.append(
                 f"renders:  predicted {snap['predicted_render_s'] * 1e3:.2f} ms, "
                 f"actual {snap['actual_render_s'] * 1e3:.2f} ms (mean)"

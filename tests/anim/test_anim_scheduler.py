@@ -1,0 +1,172 @@
+"""Range coalescing and streaming delivery of the sequence scheduler."""
+
+import threading
+import time
+
+import pytest
+
+from repro.anim.scheduler import SequenceFlight, SequenceScheduler
+from repro.errors import AnimationServiceError, ServiceError
+
+
+def stepped_runner(release: threading.Event, rendered: list):
+    """A flight job that renders one 'frame' per release-check cycle."""
+
+    def run(flight: SequenceFlight) -> None:
+        while True:
+            t = flight.next_frame()
+            if t is None:
+                return
+            release.wait(5.0)
+            rendered.append(t)
+            flight.publish(t, f"tex-{t}")
+
+    return run
+
+
+class TestCoalescing:
+    def test_overlapping_range_joins_inflight_walk(self):
+        release = threading.Event()
+        rendered = []
+        with SequenceScheduler() as sched:
+            flight_a, created_a = sched.stream(
+                "seq", 0, 10, stepped_runner(release, rendered)
+            )
+            assert created_a
+            # The scrub of [3, 8) joins the in-flight [0, 10) walk.
+            flight_b, created_b = sched.stream(
+                "seq", 3, 8, stepped_runner(release, rendered)
+            )
+            assert flight_b is flight_a
+            assert not created_b
+            assert sched.joined == 1
+            release.set()
+            assert flight_a.wait_frame(7, timeout=5.0) == "tex-7"
+            assert flight_a.wait_frame(9, timeout=5.0) == "tex-9"
+        # One walk rendered every frame exactly once.
+        assert rendered == list(range(10))
+
+    def test_join_extends_target(self):
+        release = threading.Event()
+        rendered = []
+        with SequenceScheduler() as sched:
+            flight, _ = sched.stream("seq", 0, 4, stepped_runner(release, rendered))
+            joined, created = sched.stream(
+                "seq", 2, 9, stepped_runner(release, rendered)
+            )
+            assert joined is flight and not created
+            release.set()
+            assert flight.wait_frame(8, timeout=5.0) == "tex-8"
+        assert rendered == list(range(9))
+
+    def test_finished_flight_not_joined(self):
+        release = threading.Event()
+        release.set()
+        rendered = []
+        with SequenceScheduler() as sched:
+            flight, _ = sched.stream("seq", 0, 3, stepped_runner(release, rendered))
+            flight.wait_frame(2, timeout=5.0)
+            # Wait for retirement (the job's finally runs after publish).
+            deadline = time.time() + 5.0
+            while sched.inflight() and time.time() < deadline:
+                time.sleep(0.005)
+            second, created = sched.stream(
+                "seq", 0, 3, stepped_runner(release, rendered)
+            )
+            assert created
+            assert second is not flight
+
+    def test_request_behind_walk_start_gets_new_flight(self):
+        release = threading.Event()
+        rendered = []
+        with SequenceScheduler() as sched:
+            flight, _ = sched.stream("seq", 5, 8, stepped_runner(release, rendered))
+            behind, created = sched.stream(
+                "seq", 1, 3, stepped_runner(release, rendered)
+            )
+            assert created
+            assert behind is not flight
+            release.set()
+            assert behind.wait_frame(2, timeout=5.0) == "tex-2"
+            assert flight.wait_frame(7, timeout=5.0) == "tex-7"
+
+
+class TestDelivery:
+    def test_error_propagates_to_waiters(self):
+        def failing(flight: SequenceFlight) -> None:
+            t = flight.next_frame()
+            flight.publish(t, "ok")
+            raise RuntimeError("render exploded")
+
+        with SequenceScheduler() as sched:
+            flight, _ = sched.stream("seq", 0, 5, failing)
+            assert flight.wait_frame(0, timeout=5.0) == "ok"
+            with pytest.raises(RuntimeError, match="render exploded"):
+                flight.wait_frame(1, timeout=5.0)
+
+    def test_wait_timeout(self):
+        stall = threading.Event()
+
+        def stalled(flight: SequenceFlight) -> None:
+            stall.wait(5.0)
+            while flight.next_frame() is not None:
+                flight.publish(flight.position, "late")
+
+        with SequenceScheduler() as sched:
+            flight, _ = sched.stream("seq", 0, 2, stalled)
+            with pytest.raises(ServiceError, match="timed out"):
+                flight.wait_frame(0, timeout=0.05)
+            stall.set()
+
+    def test_flight_ended_before_frame_reports_none(self):
+        flight = SequenceFlight("seq", 0, 2)
+        flight.finish()
+        # The caller (AnimationService) falls back to the cache / a new
+        # flight on None; the flight never blocks for unreachable frames.
+        assert flight.wait_frame(1, timeout=1.0) is None
+
+    def test_join_refused_once_walk_passed_and_evicted(self):
+        flight = SequenceFlight("seq", 0, 100, buffer_limit=2)
+        for t in range(10):
+            flight.publish(t, f"tex-{t}")
+        assert flight.try_join(9, 20)       # still buffered
+        assert flight.try_join(10, 20)      # ahead of the walk
+        # Passed and evicted: refusing lets the registry start a fresh
+        # flight instead of waiting on one that never looks back.
+        assert not flight.try_join(3, 20)
+
+    def test_buffer_bounded_and_passed_frames_fall_back(self):
+        flight = SequenceFlight("seq", 0, 100, buffer_limit=4)
+        for t in range(10):
+            flight.publish(t, f"tex-{t}")
+        assert len(flight.frames) == 4  # only the most recent window
+        assert flight.wait_frame(9) == "tex-9"
+        assert flight.wait_frame(2) is None  # evicted: the walk passed it
+        assert flight.wait_frame(3, timeout=0.01) is None  # no blocking either
+
+    def test_wait_timeout_is_a_total_deadline(self):
+        # A walk that publishes steadily must not keep re-arming the
+        # caller's timeout: frame 50 is ~5 s away but timeout is 0.2 s.
+        flight = SequenceFlight("seq", 0, 100)
+        stop = threading.Event()
+
+        def slow_walk():
+            t = 0
+            while not stop.is_set() and t < 100:
+                flight.publish(t, f"tex-{t}")
+                t += 1
+                time.sleep(0.02)
+
+        worker = threading.Thread(target=slow_walk, daemon=True)
+        worker.start()
+        t0 = time.monotonic()
+        with pytest.raises(ServiceError, match="timed out"):
+            flight.wait_frame(50, timeout=0.2)
+        assert time.monotonic() - t0 < 2.0
+        stop.set()
+        worker.join()
+
+    def test_empty_range_rejected(self):
+        with SequenceScheduler() as sched:
+            with pytest.raises(AnimationServiceError):
+                sched.stream("seq", 3, 3, lambda flight: None)

@@ -1,0 +1,233 @@
+"""End-to-end animation streaming: cache tiers, checkpoints, coalescing."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.anim import AnimationService, one_shot_frame
+from repro.core.config import SpotNoiseConfig
+from repro.errors import AnimationServiceError, ServiceError
+from repro.fields.analytic import random_smooth_field
+
+CONFIG = SpotNoiseConfig(n_spots=100, texture_size=32, seed=9)
+N_FRAMES = 24
+
+
+@pytest.fixture
+def source():
+    cache = {t: random_smooth_field(seed=200 + t, n=16) for t in range(N_FRAMES)}
+    return cache.__getitem__
+
+
+def make_service(source, **kwargs):
+    kwargs.setdefault("length", N_FRAMES)
+    kwargs.setdefault("checkpoint_every", 4)
+    return AnimationService(source, CONFIG, **kwargs)
+
+
+class TestStreaming:
+    def test_stream_serves_all_frames_in_order(self, source):
+        with make_service(source) as svc:
+            frames = list(svc.stream(0, 8))
+        assert [f.frame for f in frames] == list(range(8))
+        assert all(f.texture.shape == (32, 32) for f in frames)
+
+    def test_second_pass_is_all_cache_hits(self, source):
+        with make_service(source) as svc:
+            list(svc.stream(0, 8))
+            renders = svc.stats.renders
+            again = list(svc.stream(0, 8))
+            assert svc.stats.renders == renders
+        assert {f.source for f in again} == {"memory"}
+
+    def test_streamed_frames_bit_identical_to_one_shot(self, source):
+        with make_service(source) as svc:
+            frames = {f.frame: f.texture for f in svc.stream(0, 10)}
+            for t in (0, 5, 9):
+                reference = one_shot_frame(CONFIG, source, t, dt=svc.dt)
+                assert np.array_equal(frames[t], reference.display)
+            assert svc.verify(6)
+
+    def test_request_is_single_frame_stream(self, source):
+        with make_service(source) as svc:
+            response = svc.request(5)
+        assert response.frame == 5
+        assert response.key.frame == 5
+
+    def test_each_distinct_frame_rendered_once_single_client(self, source):
+        with make_service(source) as svc:
+            trace = [0, 1, 2, 1, 0, 3, 2, 4, 4, 0]
+            for t in trace:
+                svc.request(t)
+            assert svc.stats.renders == len(set(trace))
+
+    def test_range_validation(self, source):
+        with make_service(source) as svc:
+            with pytest.raises(AnimationServiceError):
+                list(svc.stream(3, 3))
+            with pytest.raises(AnimationServiceError):
+                list(svc.stream(0, N_FRAMES + 1))
+            with pytest.raises(ServiceError):
+                svc.close()
+                svc.request(0)
+
+    def test_source_errors_propagate_and_are_counted(self):
+        def flaky(t):
+            if t >= 2:
+                raise RuntimeError("data source down")
+            return random_smooth_field(seed=t, n=16)
+
+        with AnimationService(flaky, CONFIG, checkpoint_every=0) as svc:
+            list(svc.stream(0, 2))
+            with pytest.raises(RuntimeError):
+                list(svc.stream(2, 3))
+            assert svc.stats.errors >= 1
+
+
+class TestCheckpoints:
+    def test_seek_resumes_from_checkpoint_not_frame_zero(self, source):
+        advected = []
+
+        def counting(t):
+            advected.append(t)
+            return source(t)
+
+        with make_service(counting, checkpoint_every=4) as svc:
+            list(svc.stream(0, 9))  # checkpoints at 4 and 8
+            advected.clear()
+            svc.request(10)
+        # The walk resumed from its threaded state / the boundary-8
+        # checkpoint and replayed only the suffix — never frames 0..7.
+        assert advected and min(advected) >= 8
+
+    def test_fresh_process_resumes_via_disk(self, source, tmp_path):
+        disk = str(tmp_path / "cache")
+        with make_service(source, disk_dir=disk) as svc:
+            list(svc.stream(0, 9))
+        # New service, cold memory: cached frames come from disk ...
+        with make_service(source, disk_dir=disk) as svc2:
+            assert svc2.request(7).source == "disk"
+            # ... and an uncached frame resumes from the disk checkpoint
+            # with exactly the missing renders, still bit-identical.
+            response = svc2.request(10)
+            assert svc2.stats.renders <= 3  # frames 9, 10 (+ race slack)
+            reference = one_shot_frame(CONFIG, source, 10, dt=svc2.dt)
+            assert np.array_equal(response.texture, reference.display)
+
+    def test_manifest_records_frames_and_checkpoints(self, source, tmp_path):
+        disk = str(tmp_path / "cache")
+        with make_service(source, disk_dir=disk) as svc:
+            list(svc.stream(0, 9))
+            manifest = svc.manifest()
+            path = svc.write_manifest()
+        assert manifest["checkpoints"] == [4, 8]
+        assert sorted(manifest["cached_frames"]) == list(range(9))
+        assert path is not None
+
+    def test_checkpointing_can_be_disabled(self, source):
+        with make_service(source, checkpoint_every=0) as svc:
+            list(svc.stream(0, 6))
+            assert svc.manifest()["checkpoints"] == []
+            assert len(svc.checkpoints) == 0
+
+
+class TestFailureRecovery:
+    def test_render_failure_does_not_poison_later_walks(self, source):
+        # A synthesis failure lands *after* the advection mutated the
+        # evolution state; pooling that animator would double-advect the
+        # failed frame on retry and cache wrong bytes under correct keys.
+        with make_service(source) as svc:
+            calls = {"n": 0}
+            orig = svc.runtime.synthesize
+
+            def flaky(field, particles):
+                calls["n"] += 1
+                if calls["n"] >= 3:
+                    raise RuntimeError("backend died mid-synthesis")
+                return orig(field, particles)
+
+            svc.runtime.synthesize = flaky
+            with pytest.raises(RuntimeError, match="mid-synthesis"):
+                list(svc.stream(0, 5))
+            svc.runtime.synthesize = orig
+            frames = {r.frame: r.texture for r in svc.stream(0, 5)}
+            for t in (2, 4):
+                reference = one_shot_frame(CONFIG, source, t, dt=svc.dt)
+                assert np.array_equal(frames[t], reference.display), f"frame {t}"
+
+    def test_walk_over_warm_cache_still_checkpoints(self, source, tmp_path):
+        import os
+
+        disk = str(tmp_path / "cache")
+        with make_service(source, disk_dir=disk, checkpoint_every=0) as svc:
+            list(svc.stream(0, 8))  # warm the disk tier, no checkpoints
+        # Fresh process, cold memory; one missing entry forces a walk
+        # that passes the other (disk-cached) frames.
+        with make_service(
+            source, disk_dir=disk, checkpoint_every=4, memory_budget_bytes=0
+        ) as svc2:
+            missing = svc2.sequence.frame_digest(2)
+            os.unlink(os.path.join(disk, f"{missing}.npz"))
+            frames = list(svc2.stream(0, 8))
+            assert [f.frame for f in frames] == list(range(8))
+        # close() joined the walk; cache-hit frames inside it are
+        # bookkept and checkpointed too — a warm-cache replay leaves
+        # resume points behind.
+        manifest = svc2.manifest()
+        assert sorted(manifest["cached_frames"]) == list(range(2, 8))
+        assert manifest["checkpoints"] == [4, 8]
+
+
+class TestCoalescing:
+    def test_concurrent_overlapping_scrubs_share_one_walk(self, source):
+        slow = threading.Event()
+
+        def slow_source(t):
+            # First load stalls the walk long enough for the second
+            # client to arrive and join.
+            if t == 1:
+                slow.wait(0.2)
+            return source(t)
+
+        with AnimationService(
+            slow_source, CONFIG, length=N_FRAMES, checkpoint_every=4
+        ) as svc:
+            results = {}
+
+            def client(name, a, b):
+                results[name] = list(svc.stream(a, b))
+
+            t1 = threading.Thread(target=client, args=("a", 0, 12))
+            t2 = threading.Thread(target=client, args=("b", 4, 10))
+            t1.start()
+            t2.start()
+            slow.set()
+            t1.join()
+            t2.join()
+            # Every frame of both (overlapping) scrubs served, renders
+            # not duplicated per client.
+            assert [f.frame for f in results["a"]] == list(range(12))
+            assert [f.frame for f in results["b"]] == list(range(4, 10))
+            assert svc.stats.renders <= 14  # 12 distinct + race slack
+        for f in results["b"]:
+            matching = results["a"][f.frame]
+            assert np.array_equal(f.texture, matching.texture)
+
+    def test_prefetch_streams_ahead(self, source):
+        with make_service(source) as svc:
+            created = svc.prefetch(0, 6)
+            assert created
+            frames = list(svc.stream(0, 6))
+            assert [f.frame for f in frames] == list(range(6))
+            assert svc.prefetch(0, 6) is False  # fully cached now
+
+
+class TestVerifyEvery:
+    def test_verify_every_checks_and_passes(self, source):
+        with make_service(source, verify_every=2) as svc:
+            list(svc.stream(0, 5))  # raises inside the walk on divergence
+
+    def test_unseeded_config_rejected(self, source):
+        with pytest.raises(AnimationServiceError):
+            AnimationService(source, CONFIG.with_overrides(seed=None))

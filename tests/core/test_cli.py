@@ -76,6 +76,36 @@ class TestParser:
             build_parser().parse_args([])
 
 
+class TestAnimBench:
+    def test_small_scrub_bench_runs_and_reports(self, capsys):
+        code = main([
+            "anim-bench", "--trace", "scrub", "--requests", "24", "--frames", "8",
+            "--spots", "120", "--size", "32", "--grid", "16", "--clients", "2",
+            "--baseline-requests", "4", "--verify-sample", "1",
+            "--checkpoint-every", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "streamed path:" in out
+        assert "per-frame path:" in out
+        assert "speedup:" in out
+        assert "bit-identical to one-shot renders: yes" in out
+
+    def test_replay_trace_renders_each_frame_once(self, capsys):
+        code = main([
+            "anim-bench", "--trace", "replay", "--requests", "16", "--frames", "8",
+            "--spots", "120", "--size", "32", "--grid", "16", "--clients", "1",
+            "--baseline-requests", "2", "--verify-sample", "0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "8 incremental renders for 8 distinct frames" in out
+
+    def test_rejects_unknown_trace(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["anim-bench", "--trace", "bogus"])
+
+
 class TestServeBench:
     def test_small_zipf_bench_runs_and_reports(self, capsys):
         code = main([

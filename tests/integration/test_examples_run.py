@@ -26,6 +26,7 @@ def run_example(name, timeout=240):
         ("separation_study.py", "separation band"),
         ("performance_prediction.py", "16 processors"),
         ("serve_trace.py", "speedup"),
+        ("animate_stream.py", "bit-identical to one-shot render: yes"),
     ],
 )
 def test_fast_example_runs(script, expected):

@@ -6,8 +6,10 @@ from repro.errors import MachineError
 from repro.machine.animation import (
     AnimationTiming,
     data_bytes_for_grid,
+    pipelined_rate,
     simulate_animation,
 )
+from repro.machine.costs import CostModel
 from repro.machine.workload import SpotWorkload
 from repro.machine.workstation import WorkstationConfig
 
@@ -33,6 +35,66 @@ class TestAnimationTiming:
         slow = AnimationTiming(0.001, 0.5, 0.005)
         assert fast.meets_budget(5.0)
         assert not slow.meets_budget(5.0)
+
+
+class TestAnimationTimingEdges:
+    def test_zero_frame_time_is_infinite_rate(self):
+        t = AnimationTiming(read_s=0.0, synthesis_s=0.0, display_s=0.0)
+        assert t.frame_s == 0.0
+        assert t.frames_per_second == float("inf")
+        assert t.meets_budget(5.0)
+
+    def test_budget_boundary_is_inclusive(self):
+        t = AnimationTiming(read_s=0.0, synthesis_s=0.2, display_s=0.0)
+        assert t.frames_per_second == pytest.approx(5.0)
+        assert t.meets_budget(5.0)
+
+
+class TestPipelinedRate:
+    """The §6 'higher speeds are possible' claim, quantified."""
+
+    def test_pipelining_never_slower_than_sequential(self):
+        for shape in ((1, 1), (4, 2), (8, 4)):
+            for workload in (SpotWorkload.atmospheric(), SpotWorkload.turbulence()):
+                fps, seq_fps = pipelined_rate(WorkstationConfig(*shape), workload)
+                assert fps >= seq_fps
+
+    def test_full_machine_gains_from_pipelining(self):
+        # On (8, 4) the sequential blend term is a visible fraction of
+        # the frame; overlapping it with the next frame's CPU work must
+        # yield a strict speedup.
+        fps, seq_fps = pipelined_rate(WorkstationConfig(8, 4), SpotWorkload.atmospheric())
+        assert fps > seq_fps * 1.05
+
+    def test_period_is_largest_resource_load(self):
+        # Reconstruct the period from the model's own cost terms and
+        # check the returned rate inverts it.
+        config = WorkstationConfig(8, 4)
+        workload = SpotWorkload.atmospheric()
+        costs = CostModel.onyx2()
+        fps, _ = pipelined_rate(config, workload, costs=costs)
+        n_batches = -(-workload.n_spots // 50)
+        cpu = (
+            costs.shape_time(workload.n_spots, workload.total_vertices)
+            + costs.feed_time(workload.total_vertices)
+            + n_batches * costs.dispatch_s
+        )
+        pipe = costs.pipe_time(workload.total_vertices, workload.total_pixels)
+        blend = config.n_pipes * costs.blend_time(workload.texture_pixels)
+        period = max(cpu / config.n_processors, pipe / config.n_pipes, blend)
+        assert fps == pytest.approx(1.0 / period)
+
+    def test_tiled_variant_runs_and_accounts_duplication(self):
+        fps, seq_fps = pipelined_rate(
+            WorkstationConfig(8, 4), SpotWorkload.atmospheric(), tiled=True
+        )
+        assert fps > 0 and seq_fps > 0
+
+    def test_single_resource_machine_pipelines_little(self):
+        # With one processor and one pipe there is almost nothing to
+        # overlap; the pipelined rate stays close to sequential.
+        fps, seq_fps = pipelined_rate(WorkstationConfig(1, 1), SpotWorkload.atmospheric())
+        assert fps <= seq_fps * 2.0
 
 
 class TestSimulateAnimation:

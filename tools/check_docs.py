@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Docs gate for CI.
+
+Two checks, both cheap to keep honest:
+
+1. **Docstring audit** — every public module under ``src/repro`` (any
+   ``.py`` whose name does not start with an underscore, including
+   package ``__init__``\\s) must open with a module docstring.
+2. **Executable snippets** — every fenced ```python`` block in
+   ``README.md`` and ``docs/*.md`` is executed with ``PYTHONPATH=src``
+   in a scratch directory.  Documentation that cannot run is
+   documentation that has drifted; mark genuinely non-runnable listings
+   as ```text`` (or leave the fence untagged).
+
+Exit status is non-zero with a per-failure report, so the CI step's log
+says exactly which module or snippet broke.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+SNIPPET_TIMEOUT_S = 240
+
+FENCE_RE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def public_modules() -> "list[str]":
+    out = []
+    for root, dirs, files in os.walk(os.path.join(SRC, "repro")):
+        dirs[:] = sorted(d for d in dirs if not d.startswith(("_", ".")))
+        for name in sorted(files):
+            if name.endswith(".py") and (name == "__init__.py" or not name.startswith("_")):
+                out.append(os.path.join(root, name))
+    return out
+
+
+def check_docstrings() -> "list[str]":
+    failures = []
+    for path in public_modules():
+        rel = os.path.relpath(path, REPO)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                tree = ast.parse(fh.read(), filename=rel)
+        except SyntaxError as exc:
+            failures.append(f"{rel}: does not parse ({exc})")
+            continue
+        if not ast.get_docstring(tree):
+            failures.append(f"{rel}: missing module docstring")
+    return failures
+
+
+def doc_files() -> "list[str]":
+    out = [os.path.join(REPO, "README.md")]
+    docs = os.path.join(REPO, "docs")
+    if os.path.isdir(docs):
+        out.extend(
+            os.path.join(docs, name)
+            for name in sorted(os.listdir(docs))
+            if name.endswith(".md")
+        )
+    return [p for p in out if os.path.exists(p)]
+
+
+def check_snippets() -> "list[str]":
+    failures = []
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    for path in doc_files():
+        rel = os.path.relpath(path, REPO)
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        for i, match in enumerate(FENCE_RE.finditer(text), start=1):
+            code = match.group(1)
+            line = text[: match.start()].count("\n") + 2
+            label = f"{rel} snippet {i} (line {line})"
+            with tempfile.TemporaryDirectory() as scratch:
+                try:
+                    proc = subprocess.run(
+                        [sys.executable, "-c", code],
+                        cwd=scratch,
+                        env=env,
+                        capture_output=True,
+                        text=True,
+                        timeout=SNIPPET_TIMEOUT_S,
+                    )
+                except subprocess.TimeoutExpired:
+                    failures.append(f"{label}: timed out after {SNIPPET_TIMEOUT_S}s")
+                    continue
+            if proc.returncode != 0:
+                tail = (proc.stderr or proc.stdout).strip().splitlines()[-12:]
+                failures.append(f"{label}: exited {proc.returncode}\n    " + "\n    ".join(tail))
+            else:
+                print(f"ok: {label}")
+    return failures
+
+
+def main() -> int:
+    failures = check_docstrings()
+    n_modules = len(public_modules())
+    if not failures:
+        print(f"ok: {n_modules} public modules all carry module docstrings")
+    failures += check_snippets()
+    if failures:
+        print(f"\n{len(failures)} docs check failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("docs checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
