@@ -44,7 +44,10 @@ from repro.anim.scheduler import SequenceFlight, SequenceScheduler
 from repro.anim.sequence import FrameSequence
 from repro.core.config import SpotNoiseConfig
 from repro.errors import AnimationServiceError, ServiceError
-from repro.parallel.runtime import DivideAndConquerRuntime
+from repro.machine.workload import workload_from_config
+from repro.parallel.planner import DecompositionPlan, DecompositionPlanner
+from repro.parallel.runtime import DivideAndConquerRuntime, spatial_feasibility
+from repro.service.admission import LatencyPredictor
 from repro.service.cache import (
     DiskBlobStore,
     DiskTextureCache,
@@ -55,6 +58,22 @@ from repro.service.keys import SequenceKey
 from repro.service.scheduler import RequestScheduler
 from repro.service.server import DEFAULT_MEMORY_BUDGET
 from repro.service.stats import ServiceStats
+
+
+@dataclass(frozen=True)
+class _PlanContext:
+    """Everything a render walk needs, bound to one resolved plan.
+
+    A drift re-plan swaps the service's *current* context atomically;
+    walks and streams capture the context they started under and finish
+    on it, so frames are always cached under the identity whose config
+    rendered them — whatever the service's current plan is by then.
+    """
+
+    sequence: FrameSequence
+    config: SpotNoiseConfig
+    runtime: DivideAndConquerRuntime
+    sequence_id: str
 
 
 @dataclass(frozen=True)
@@ -105,6 +124,15 @@ class AnimationService:
         When > 0, every Nth frame rendered by a walk is re-rendered
         one-shot and compared bit-for-bit (expensive — a debugging and
         acceptance-testing knob, not a production default).
+    planner / predictor:
+        With ``config.backend == "auto"`` the decomposition is resolved
+        by the planner at construction — a sequence's identity (and
+        hence its digest chain, checkpoints and cached frames) is bound
+        to the *resolved* config, so the plan must hold for the
+        sequence's lifetime.  Incremental render times feed the
+        predictor; :meth:`replan_if_drifted` lets a quiesced service
+        adopt a new plan (new sequence identity, new keys — old cache
+        entries simply go cold, they can never be served wrongly).
     """
 
     def __init__(
@@ -120,18 +148,43 @@ class AnimationService:
         n_workers: int = 1,
         verify_every: int = 0,
         stats: Optional[ServiceStats] = None,
+        planner: Optional[DecompositionPlanner] = None,
+        predictor: Optional[LatencyPredictor] = None,
     ):
         if checkpoint_every < 0:
             raise AnimationServiceError(
                 f"checkpoint_every must be >= 0, got {checkpoint_every}"
             )
         self.field_source = field_source
-        self.config = config
+        self.requested_config = config
         self.policy = policy or LifeCyclePolicy()
-        self.dt = float(dt) if dt is not None else auto_dt(field_source(0))
-        self.sequence = FrameSequence(
-            field_source, config, self.dt, policy=self.policy, length=length
-        )
+        self._planner: Optional[DecompositionPlanner] = None
+        self._plan: Optional[DecompositionPlan] = None
+        self._plan_scale = 1.0
+        self.predictor = predictor
+        self.replans = 0
+        # Frame 0 is loaded only when something actually needs it: the
+        # automatic advection step, the planner's workload, or the
+        # predictor's grid shape.
+        field0 = None
+        if dt is None or config.backend == "auto" or predictor is not None:
+            field0 = field_source(0)
+        self.dt = float(dt) if dt is not None else auto_dt(field0)
+        self._grid_shape = tuple(field0.grid.shape) if field0 is not None else None
+        if config.backend == "auto":
+            self._planner = planner or DecompositionPlanner()
+            self.predictor = self.predictor or LatencyPredictor()
+            self._plan_workload = workload_from_config(config, field0)
+            self._spatial_ok = spatial_feasibility(config, field0)
+            self._plan_scale = self.predictor.scale or 1.0
+            self._plan = self._planner.plan(
+                self._plan_workload, scale=self._plan_scale,
+                spatial_ok=self._spatial_ok,
+            )
+            config = self._plan.apply(config)
+        self._length = length
+        self._ctx = self._make_context(config)
+        self._retired_runtimes: "List[DivideAndConquerRuntime]" = []
         self.checkpoint_every = int(checkpoint_every)
         self.verify_every = int(verify_every)
         self.stats = stats or ServiceStats()
@@ -139,22 +192,51 @@ class AnimationService:
         self.cache = TieredTextureCache(LRUTextureCache(memory_budget_bytes), disk)
         blob = DiskBlobStore(os.path.join(disk_dir, "checkpoints")) if disk_dir else None
         self.checkpoints = CheckpointStore(disk=blob)
-        self.runtime = DivideAndConquerRuntime(config)
         self.scheduler = SequenceScheduler(
             RequestScheduler(n_workers=n_workers, name="anim-service"),
             owns_scheduler=True,  # close() must join the walk workers
         )
         self.stats.queue_depth_probe = self.scheduler.scheduler.queue_depth
         self._disk_dir = disk_dir
-        self._sequence_id = (
-            f"{config.fingerprint()}|{self.dt!r}|{self.sequence._policy_token}"
-        )
         self._animator_lock = threading.Lock()
-        self._idle_animator: Optional[IncrementalAnimator] = None
+        self._idle_animator: "Optional[Tuple[_PlanContext, IncrementalAnimator]]" = None
         self._book_lock = threading.Lock()
         self._cached_frames: Dict[int, str] = {}
         self._checkpoint_boundaries: Set[int] = set()
         self._closed = False
+
+    def _make_context(self, config: SpotNoiseConfig) -> _PlanContext:
+        sequence = FrameSequence(
+            self.field_source, config, self.dt, policy=self.policy,
+            length=self._length,
+        )
+        return _PlanContext(
+            sequence=sequence,
+            config=config,
+            runtime=DivideAndConquerRuntime(config),
+            sequence_id=(
+                f"{config.fingerprint()}|{self.dt!r}|{sequence._policy_token}"
+            ),
+        )
+
+    # The service's *current* plan context; walks and streams capture it
+    # once and finish on it, so a concurrent re-plan can never mix two
+    # identities inside one walk.
+    @property
+    def config(self) -> SpotNoiseConfig:
+        return self._ctx.config
+
+    @property
+    def sequence(self) -> FrameSequence:
+        return self._ctx.sequence
+
+    @property
+    def runtime(self) -> DivideAndConquerRuntime:
+        return self._ctx.runtime
+
+    @property
+    def _sequence_id(self) -> str:
+        return self._ctx.sequence_id
 
     # -- construction helpers ----------------------------------------------------
     @classmethod
@@ -187,13 +269,17 @@ class AnimationService:
     def _stream(
         self, start: int, stop: int, timeout: Optional[float]
     ) -> Iterator[FrameResponse]:
+        # One stream lives entirely on the plan context it started
+        # under: a concurrent re-plan swaps the service's context but
+        # never this stream's keys, flight or runtime.
+        ctx = self._ctx
         flight: Optional[SequenceFlight] = None
         flight_source = "stream"
         for t in range(start, stop):
             t0 = time.perf_counter()
             self.stats.record_request()
             try:
-                digest = self.sequence.frame_digest(t)
+                digest = ctx.sequence.frame_digest(t)
                 texture = None
                 source = "memory"
                 # Bounded retry: a flight can pass `t` after evicting it
@@ -207,7 +293,8 @@ class AnimationService:
                         break
                     if flight is None or not flight.try_join(t, stop):
                         flight, created = self.scheduler.stream(
-                            self._sequence_id, t, stop, self._run_flight
+                            ctx.sequence_id, t, stop,
+                            lambda fl, ctx=ctx: self._run_flight(fl, ctx),
                         )
                         flight_source = "stream" if created else "coalesced"
                     texture = flight.wait_frame(t, timeout)
@@ -228,7 +315,7 @@ class AnimationService:
             yield FrameResponse(
                 frame=t,
                 texture=texture,
-                key=self.sequence.frame_key(t),
+                key=ctx.sequence.frame_key(t),
                 source=source,
                 latency_s=latency,
             )
@@ -245,12 +332,14 @@ class AnimationService:
         """
         if self._closed:
             raise ServiceError("animation service is closed")
-        self.sequence.check_frame(start)
-        self.sequence.check_frame(stop - 1)
+        ctx = self._ctx
+        ctx.sequence.check_frame(start)
+        ctx.sequence.check_frame(stop - 1)
         for t in range(start, stop):
-            if self.cache.get(self.sequence.frame_digest(t))[0] is None:
+            if self.cache.get(ctx.sequence.frame_digest(t))[0] is None:
                 _, created = self.scheduler.stream(
-                    self._sequence_id, t, stop, self._run_flight
+                    ctx.sequence_id, t, stop,
+                    lambda fl, ctx=ctx: self._run_flight(fl, ctx),
                 )
                 return created
         return False
@@ -269,30 +358,35 @@ class AnimationService:
         return bool(np.array_equal(response.texture, reference.display))
 
     # -- the render walk ---------------------------------------------------------
-    def _run_flight(self, flight: SequenceFlight) -> None:
-        animator = self._acquire_animator(flight.first)
+    def _run_flight(self, flight: SequenceFlight, ctx: _PlanContext) -> None:
+        animator = self._acquire_animator(flight.first, ctx)
         try:
             while True:
                 t = flight.next_frame()
                 if t is None:
                     break
-                digest = self.sequence.frame_digest(t)
+                digest = ctx.sequence.frame_digest(t)
                 cached, _ = self.cache.get(digest)
                 if cached is not None:
                     # Someone materialised this frame earlier: one cheap
                     # advection keeps the walk's state coherent, no splat.
                     animator.advance_to(t + 1)
-                    self._bookkeep(t, digest, animator)
+                    self._bookkeep(t, digest, animator, ctx)
                     flight.publish(t, cached)
                     continue
                 animator.advance_to(t)
                 r0 = time.perf_counter()
                 result = animator.render_next()
-                self.stats.record_render(None, time.perf_counter() - r0)
+                elapsed = time.perf_counter() - r0
+                self.stats.record_render(None, elapsed)
+                if self.predictor is not None:
+                    self.predictor.observe(
+                        ctx.config, elapsed, grid_shape=self._grid_shape
+                    )
                 if self.verify_every and result.frame_index % self.verify_every == 0:
                     animator.verify_frame(result)
                 self.cache.put(digest, result.display)
-                self._bookkeep(t, digest, animator)
+                self._bookkeep(t, digest, animator, ctx)
                 flight.publish(t, result.display)
         except BaseException:
             # The animator may have mutated evolution state for a frame
@@ -301,51 +395,64 @@ class AnimationService:
             # and cache wrong bytes under correct keys.  Discard it.
             animator.close()
             raise
-        self._release_animator(animator)
+        self._release_animator(animator, ctx)
 
-    def _bookkeep(self, t: int, digest: str, animator: IncrementalAnimator) -> None:
+    def _bookkeep(
+        self, t: int, digest: str, animator: IncrementalAnimator, ctx: _PlanContext
+    ) -> None:
         """Record frame *t* and capture the boundary checkpoint if due.
 
         Runs for rendered *and* cache-hit frames: a walk over a warm
         disk tier must still leave resume points and an honest manifest.
         """
         with self._book_lock:
-            self._cached_frames[t] = digest
+            if ctx is self._ctx:  # a superseded walk's frames are cold keys
+                self._cached_frames[t] = digest
         boundary = t + 1
         if self.checkpoint_every and boundary % self.checkpoint_every == 0:
-            state_digest = self.sequence.checkpoint_digest(boundary)
+            state_digest = ctx.sequence.checkpoint_digest(boundary)
             if state_digest not in self.checkpoints:
                 self.checkpoints.put(state_digest, animator.state())
             with self._book_lock:
-                self._checkpoint_boundaries.add(boundary)
+                if ctx is self._ctx:
+                    self._checkpoint_boundaries.add(boundary)
 
     # -- animator pooling and checkpoint restore ---------------------------------
-    def _nearest_checkpoint(self, frame: int) -> "Tuple[int, Optional[object]]":
+    def _nearest_checkpoint(
+        self, frame: int, ctx: _PlanContext
+    ) -> "Tuple[int, Optional[object]]":
         """Best resume point at or below *frame*: (boundary, state|None)."""
         if self.checkpoint_every:
             boundary = (frame // self.checkpoint_every) * self.checkpoint_every
             while boundary >= self.checkpoint_every:
-                state = self.checkpoints.get(self.sequence.checkpoint_digest(boundary))
+                state = self.checkpoints.get(ctx.sequence.checkpoint_digest(boundary))
                 if state is not None:
                     return boundary, state
                 boundary -= self.checkpoint_every
         return 0, None
 
-    def _acquire_animator(self, first: int) -> IncrementalAnimator:
+    def _acquire_animator(self, first: int, ctx: _PlanContext) -> IncrementalAnimator:
+        animator = None
         with self._animator_lock:
-            animator, self._idle_animator = self._idle_animator, None
+            if self._idle_animator is not None:
+                idle_ctx, idle = self._idle_animator
+                # An animator is bound to the plan context that built it
+                # (config + runtime); one pooled under a superseded plan
+                # must not serve a walk under the new one.
+                if idle_ctx is ctx:
+                    animator, self._idle_animator = idle, None
         if animator is None:
             animator = IncrementalAnimator(
-                self.config,
+                ctx.config,
                 self.field_source,
                 dt=self.dt,
                 policy=self.policy,
-                runtime=self.runtime,
+                runtime=ctx.runtime,
             )
             position = 0
         else:
             position = animator.position
-        boundary, state = self._nearest_checkpoint(first)
+        boundary, state = self._nearest_checkpoint(first, ctx)
         # The idle animator's own position is a "checkpoint" too — reuse
         # it when it is the closest resume point not past `first` (the
         # hot path for forward scrubbing).
@@ -357,12 +464,67 @@ class AnimationService:
             animator.reset()
         return animator
 
-    def _release_animator(self, animator: IncrementalAnimator) -> None:
+    def _release_animator(self, animator: IncrementalAnimator, ctx: _PlanContext) -> None:
         with self._animator_lock:
-            if self._idle_animator is None and not self._closed:
-                self._idle_animator = animator
+            if (
+                self._idle_animator is None
+                and not self._closed
+                and ctx is self._ctx  # superseded-plan animators retire
+            ):
+                self._idle_animator = (ctx, animator)
                 return
         animator.close()
+
+    # -- planning ----------------------------------------------------------------
+    @property
+    def plan(self) -> Optional[DecompositionPlan]:
+        """The resolved decomposition plan (``None`` without auto)."""
+        return self._plan
+
+    def replan_if_drifted(self, drift: float = 2.0) -> bool:
+        """Adopt a new plan when the calibration scale drifted > *drift*.
+
+        A sequence's identity is bound to its resolved config, so the
+        service swaps its *whole* plan context (sequence, runtime,
+        sequence id) at once; walks and streams that already started
+        captured the old context and finish on it — their frames stay
+        keyed under the identity whose config rendered them, and the old
+        runtime is retired (closed at service :meth:`close`) rather than
+        pulled out from under them.  Previously cached frames and
+        checkpoints keyed by the old identity simply go cold.
+
+        Returns ``True`` when a new decomposition was adopted.
+        """
+        if drift <= 1.0:
+            raise AnimationServiceError(f"drift must be > 1, got {drift}")
+        if self._planner is None or self.predictor is None or self._closed:
+            return False
+        scale = self.predictor.scale
+        if scale is None:
+            return False
+        ratio = scale / self._plan_scale if self._plan_scale > 0 else float("inf")
+        if 1.0 / drift <= ratio <= drift:
+            return False
+        plan = self._planner.plan(
+            self._plan_workload, scale=scale, spatial_ok=self._spatial_ok
+        )
+        self._plan_scale = scale
+        if plan.triple == self._plan.triple:
+            self._plan = plan
+            return False
+        old_ctx = self._ctx
+        self._plan = plan
+        self._ctx = self._make_context(plan.apply(self.requested_config))
+        self._retired_runtimes.append(old_ctx.runtime)
+        with self._animator_lock:
+            idle, self._idle_animator = self._idle_animator, None
+        if idle is not None:
+            idle[1].close()
+        with self._book_lock:
+            self._cached_frames.clear()
+            self._checkpoint_boundaries.clear()
+        self.replans += 1
+        return True
 
     # -- observability -----------------------------------------------------------
     def manifest(self) -> dict:
@@ -390,10 +552,13 @@ class AnimationService:
         self._closed = True
         self.scheduler.close()
         with self._animator_lock:
-            animator, self._idle_animator = self._idle_animator, None
-        if animator is not None:
-            animator.close()
+            idle, self._idle_animator = self._idle_animator, None
+        if idle is not None:
+            idle[1].close()
         self.runtime.close()
+        for runtime in self._retired_runtimes:
+            runtime.close()
+        self._retired_runtimes = []
         if self._disk_dir:
             self.write_manifest()
 

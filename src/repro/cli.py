@@ -15,7 +15,12 @@ writing any code:
 * ``anim-bench`` — replay a scrub/replay trace of *animation* frames
   against the streaming subsystem (:mod:`repro.anim`) and report the
   frames/s win over the per-frame no-reuse path, plus a sampled
-  bit-identity check of incremental vs one-shot frames.
+  bit-identity check of incremental vs one-shot frames;
+* ``plan-bench`` — price the candidate decompositions with the
+  cost-model planner (host-calibrated), then run the default animation
+  workload through the pickling process backend and the zero-copy
+  shared-memory backend and report the frames/s speedup, with a
+  bit-identity check against the serial reference.
 
 Installed as ``repro-spotnoise`` (or run ``python -m repro.cli``).
 """
@@ -322,6 +327,85 @@ def _cmd_anim_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan_bench(args: argparse.Namespace) -> int:
+    # Imports deferred: planning + rendering pull in the whole pipeline.
+    import time
+
+    import numpy as np
+
+    from repro.core.config import SpotNoiseConfig
+    from repro.core.pipeline import SpotNoisePipeline
+    from repro.fields.analytic import random_smooth_field
+    from repro.machine.workload import workload_from_config
+    from repro.parallel.planner import DecompositionPlanner
+    from repro.parallel.runtime import DivideAndConquerRuntime, spatial_feasibility
+    from repro.service.admission import LatencyPredictor
+
+    config = SpotNoiseConfig(
+        n_spots=args.spots,
+        texture_size=args.size,
+        spot_mode="standard",
+        n_groups=args.groups,
+        seed=args.seed,
+    )
+    field = random_smooth_field(seed=args.seed + 1000, n=args.grid)
+    workload = workload_from_config(config, field)
+
+    # Calibrate the cost model against this host with a few serial
+    # frames, exactly the way the serving layer does online.
+    predictor = LatencyPredictor()
+    with SpotNoisePipeline(config, field) as pipe:
+        for _ in range(2):
+            t0 = time.perf_counter()
+            pipe.step()
+            predictor.observe(config, time.perf_counter() - t0,
+                              grid_shape=tuple(field.grid.shape))
+    scale = predictor.scale or 1.0
+
+    planner = DecompositionPlanner(host_workers=args.host_workers or None)
+    plan = planner.plan(workload, scale=scale,
+                        spatial_ok=spatial_feasibility(config, field))
+    print(f"plan-bench: {config.n_spots} spots, {config.texture_size}px texture, "
+          f"{args.grid}x{args.grid} field, calibration scale {scale:.3g}")
+    print(plan.summary())
+    print()
+
+    # The animation workload: a static field (the epoch-stable case the
+    # shared-memory backend is built for), advected spots per frame.
+    def run_animation(backend: str) -> float:
+        cfg = config.with_overrides(backend=backend)
+        with SpotNoisePipeline(cfg, field) as pipe:
+            pipe.step()  # warm-up: pool spin-up + first field publish
+            t0 = time.perf_counter()
+            for _ in range(args.frames):
+                pipe.step()
+            return args.frames / (time.perf_counter() - t0)
+
+    # Bit-identity spot check across the three backends first.
+    textures = {}
+    for backend in ("serial", "process", "sharedmem"):
+        cfg = config.with_overrides(backend=backend)
+        with SpotNoisePipeline(cfg, field) as pipe:
+            textures[backend] = pipe.step().texture
+    identical = all(
+        np.array_equal(textures["serial"], textures[b]) for b in ("process", "sharedmem")
+    )
+
+    process_fps = run_animation("process")
+    sharedmem_fps = run_animation("sharedmem")
+    speedup = sharedmem_fps / process_fps if process_fps else float("inf")
+
+    print(f"animation workload: {args.frames} frames, {args.groups} groups, "
+          f"static {args.grid}x{args.grid} field")
+    print(f"process backend (pickling):     {process_fps:8.2f} frames/s")
+    print(f"sharedmem backend (zero-copy):  {sharedmem_fps:8.2f} frames/s")
+    print(f"speedup: {speedup:.1f}x (acceptance floor 2x)")
+    print(f"bit-identical to serial: {'yes' if identical else 'NO'}")
+    if not identical:
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-spotnoise",
@@ -424,6 +508,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="frames re-rendered one-shot for the bit-identity "
                              "check (0 disables)")
     p_anim.set_defaults(fn=_cmd_anim_bench)
+
+    p_plan = sub.add_parser(
+        "plan-bench",
+        help="price decompositions with the planner, bench sharedmem vs process",
+    )
+    p_plan.add_argument("--spots", type=int, default=800)
+    p_plan.add_argument("--size", type=int, default=96, help="texture size (px)")
+    p_plan.add_argument("--grid", type=int, default=321,
+                        help="analytic field grid n (field bytes drive the "
+                             "pickling cost the zero-copy backend avoids)")
+    p_plan.add_argument("--frames", type=int, default=16,
+                        help="animation frames timed per backend")
+    p_plan.add_argument("--groups", type=int, default=4,
+                        help="process groups for the backend comparison "
+                             "(the pickling backend re-ships the field to "
+                             "every group)")
+    p_plan.add_argument("--host-workers", type=int, default=0,
+                        help="override the planner's host parallelism "
+                             "(0 = use os.cpu_count())")
+    p_plan.add_argument("--seed", type=int, default=0)
+    p_plan.set_defaults(fn=_cmd_plan_bench)
 
     return parser
 

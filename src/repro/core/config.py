@@ -96,7 +96,12 @@ class SpotNoiseConfig:
     guard_px:
         Tile guard band (pixels) when tiling.
     backend:
-        Execution backend name: ``serial``, ``thread`` or ``process``.
+        Execution backend name: ``serial``, ``thread``, ``process`` or
+        ``sharedmem`` (zero-copy shared-memory process groups) — or
+        ``auto``, which defers the whole decomposition (backend, group
+        count, partition) to the cost-model
+        :class:`~repro.parallel.planner.DecompositionPlanner` when the
+        runtime first sees a field.
     seed:
         RNG seed for spot positions/intensities.
     post_filter:
@@ -156,6 +161,8 @@ class SpotNoiseConfig:
             raise PipelineError("processors_per_group must be >= 1")
         if self.partition not in ("round_robin", "block", "spatial"):
             raise PipelineError(f"unknown partition strategy {self.partition!r}")
+        if self.backend not in ("serial", "thread", "process", "sharedmem", "auto"):
+            raise PipelineError(f"unknown backend {self.backend!r}")
         if self.guard_px < 0:
             raise PipelineError("guard_px must be >= 0")
         if self.intensity <= 0:

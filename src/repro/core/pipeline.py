@@ -103,6 +103,17 @@ class SpotNoisePipeline:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    @property
+    def plan(self):
+        """The runtime's resolved decomposition plan.
+
+        ``None`` unless the configuration used ``backend="auto"`` and a
+        frame has been synthesised (the planner needs the field before
+        it can price the workload — see
+        :class:`~repro.parallel.planner.DecompositionPlanner`).
+        """
+        return self.runtime.plan
+
     # -- stage 1 ---------------------------------------------------------------
     def read_data(self, field: VectorField2D) -> None:
         """Accept a new data frame; particle state is preserved.

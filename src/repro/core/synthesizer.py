@@ -8,9 +8,7 @@ the programmatic equivalents of what the paper's figures and tables show.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional
-
-import numpy as np
+from typing import Iterable, Iterator, Optional
 
 from repro.core.config import SpotNoiseConfig
 from repro.core.pipeline import FrameResult, SpotNoisePipeline
@@ -19,56 +17,14 @@ from repro.errors import PipelineError
 from repro.fields.vectorfield import VectorField2D
 from repro.machine.costs import CostModel
 from repro.machine.schedule import TimingResult, simulate_texture
-from repro.machine.workload import SpotWorkload
+from repro.machine.workload import (  # noqa: F401 - re-exported public API
+    DEFAULT_WORKLOAD_GRID_SHAPE,
+    SpotWorkload,
+    workload_from_config,
+)
 from repro.machine.workstation import WorkstationConfig
+from repro.parallel.planner import DecompositionPlan, DecompositionPlanner
 from repro.parallel.runtime import DivideAndConquerRuntime
-
-
-#: Grid shape assumed by :func:`workload_from_config` when no field is
-#: supplied — matches the analytic demo fields' default resolution and is
-#: used consistently for spot-coverage estimates *and* the workload's
-#: ``grid_shape`` (read-rate costs), for both spot modes.
-DEFAULT_WORKLOAD_GRID_SHAPE = (64, 64)
-
-
-def workload_from_config(
-    config: SpotNoiseConfig,
-    field: Optional[VectorField2D] = None,
-    grid_shape: "Optional[tuple[int, int]]" = None,
-) -> SpotWorkload:
-    """Translate a synthesis configuration into a machine-model workload.
-
-    Pixel coverage per spot is estimated from the spot geometry and grid
-    resolution (the same arithmetic the workload constructors use for the
-    paper's two applications).  The grid comes from *field* when given,
-    else from an explicit ``(ny, nx)`` *grid_shape* (the serving layer's
-    latency predictor knows the shape without loading data), else from
-    the documented default :data:`DEFAULT_WORKLOAD_GRID_SHAPE` — in every
-    case it feeds both the per-spot coverage estimate and the workload's
-    ``grid_shape``, so machine-model predictions stay self-consistent.
-    """
-    if field is not None:
-        grid_shape = tuple(field.grid.shape)
-    elif grid_shape is None:
-        grid_shape = DEFAULT_WORKLOAD_GRID_SHAPE
-    grid_shape = (int(grid_shape[0]), int(grid_shape[1]))
-    nx = grid_shape[1]
-    if config.spot_mode == "bent":
-        b = config.bent
-        px_per_cell = config.texture_size / nx
-        pixels = max(1.0, (b.length_cells * px_per_cell) * (b.width_cells * px_per_cell))
-    else:
-        r_px = config.spot_radius_cells * config.texture_size / nx
-        pixels = max(1.0, np.pi * r_px * r_px)
-    return SpotWorkload(
-        name="custom",
-        n_spots=config.n_spots,
-        vertices_per_spot=config.vertices_per_spot(),
-        quads_per_spot=config.quads_per_spot(),
-        pixels_per_spot=float(pixels),
-        texture_size=config.texture_size,
-        grid_shape=grid_shape,
-    )
 
 
 def render_frame(
@@ -189,6 +145,27 @@ class SpotNoiseSynthesizer:
                     "animate over same-geometry fields or start a new animation"
                 ) from None
             yield pipe.step()
+
+    # -- decomposition planning ----------------------------------------------------
+    def plan(
+        self,
+        field: VectorField2D,
+        planner: Optional[DecompositionPlanner] = None,
+        scale: float = 1.0,
+    ) -> DecompositionPlan:
+        """Price the candidate decompositions for this config on *field*.
+
+        Returns the cheapest (backend, n_groups, partition) triple with
+        the full priced candidate table attached.  ``scale`` is a host
+        calibration factor for the render-work terms (the serving layer
+        learns one online via
+        :class:`~repro.service.admission.LatencyPredictor`); 1.0 prices
+        raw Onyx2-structured costs, which still ranks candidates
+        correctly on any host.
+        """
+        planner = planner or DecompositionPlanner()
+        workload = workload_from_config(self.config, field)
+        return planner.plan(workload, scale=scale)
 
     # -- performance prediction ----------------------------------------------------
     def predict_timing(

@@ -62,6 +62,19 @@ class CostModel:
         Sequential per-pixel cost of that blend.
     bus_bandwidth_Bps:
         Bus bandwidth (bytes/second); 800 MB/s on the Onyx2.
+    ipc_bandwidth_Bps:
+        Effective bytes/second through a pickling inter-process channel
+        (serialise + pipe write + deserialise) on the *host* running the
+        real backends.  Unlike the 1997 constants above this is a
+        present-day magnitude, used by the decomposition planner to
+        charge the classic process backend for re-shipping the field to
+        every group each frame.
+    shm_bandwidth_Bps:
+        Host memcpy bytes/second into/out of shared memory — what the
+        zero-copy backend pays to publish the frame state once.
+    worker_dispatch_s:
+        Host-side per-group, per-frame overhead of handing work to a
+        pooled worker (queue hop, wakeup).
     """
 
     cpu_spot_s: float = 1.0e-6
@@ -76,13 +89,17 @@ class CostModel:
     blend_setup_s: float = 4.0e-3
     blend_pixel_s: float = 3.0e-8
     bus_bandwidth_Bps: float = 800.0e6
+    ipc_bandwidth_Bps: float = 300.0e6
+    shm_bandwidth_Bps: float = 4.0e9
+    worker_dispatch_s: float = 2.0e-4
 
     def __post_init__(self) -> None:
         for name in self.__dataclass_fields__:
             if getattr(self, name) < 0:
                 raise MachineError(f"cost {name} must be >= 0")
-        if self.bus_bandwidth_Bps <= 0:
-            raise MachineError("bus bandwidth must be positive")
+        for name in ("bus_bandwidth_Bps", "ipc_bandwidth_Bps", "shm_bandwidth_Bps"):
+            if getattr(self, name) <= 0:
+                raise MachineError(f"{name} must be positive")
 
     @classmethod
     def onyx2(cls) -> "CostModel":

@@ -118,7 +118,7 @@ class TimingResult:
         return self.pipe_busy_s.get(pipe_id, 0.0) / self.makespan_s if self.makespan_s else 0.0
 
 
-def _tile_duplication(workload: SpotWorkload, n_tiles: int) -> float:
+def tile_duplication(workload: SpotWorkload, n_tiles: int) -> float:
     """Fraction of extra (duplicated) spots introduced by spatial tiling.
 
     Tiles are vertical strips of the texture.  A spot whose centre lies
@@ -131,6 +131,10 @@ def _tile_duplication(workload: SpotWorkload, n_tiles: int) -> float:
     extent_px = float(np.sqrt(workload.pixels_per_spot))
     frac = (n_tiles - 1) * 2.0 * extent_px / workload.texture_size
     return min(frac, 1.0)
+
+
+#: Back-compat alias (the helper predates its public use by the planner).
+_tile_duplication = tile_duplication
 
 
 def _make_batches(
@@ -197,7 +201,7 @@ def simulate_texture(
     n_groups = config.n_pipes
     group_procs = config.processors_per_group()
 
-    dup = _tile_duplication(workload, n_groups) if tiled else 0.0
+    dup = tile_duplication(workload, n_groups) if tiled else 0.0
     spots_per_group = [workload.n_spots // n_groups] * n_groups
     for g in range(workload.n_spots % n_groups):
         spots_per_group[g] += 1

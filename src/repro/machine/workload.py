@@ -6,14 +6,38 @@ the processors (vertices to generate), on the pipe (vertices to transform
 and pixels to fill) and on the bus (bytes per spot).  The two evaluation
 workloads of the paper are provided as constructors with the exact
 parameters quoted in sections 5.1 and 5.2.
+
+:func:`workload_from_config` translates a live synthesis configuration
+into a workload, so the same per-unit costs that reproduce Tables 1 and
+2 can price a serving request or a decomposition plan.  (It lives here —
+rather than in :mod:`repro.core.synthesizer`, which re-exports it — so
+the planner and runtime can price work without importing the synthesis
+facade.)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
 
 from repro.errors import MachineError
 from repro.glsim.commands import BYTES_PER_FLOAT, FLOATS_PER_VERTEX
+
+#: The implementation's arrays are float64, unlike the 4-byte GL vertex
+#: stream modelled by :data:`BYTES_PER_FLOAT`.
+_BYTES_FLOAT64 = 8
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import SpotNoiseConfig
+    from repro.fields.vectorfield import VectorField2D
+
+#: Grid shape assumed by :func:`workload_from_config` when no field is
+#: supplied — matches the analytic demo fields' default resolution and is
+#: used consistently for spot-coverage estimates *and* the workload's
+#: ``grid_shape`` (read-rate costs), for both spot modes.
+DEFAULT_WORKLOAD_GRID_SHAPE = (64, 64)
 
 
 @dataclass(frozen=True)
@@ -85,6 +109,23 @@ class SpotWorkload:
     def total_bytes(self) -> int:
         """Raw geometric data per texture — 31 MB for the DNS workload (§5.2)."""
         return self.n_spots * self.bytes_per_spot()
+
+    @property
+    def field_bytes(self) -> int:
+        """Raw field data bytes: ``ny * nx`` float64 ``(u, v)`` pairs.
+
+        This is what a pickling process backend re-ships to every group
+        on every frame, and what the shared-memory backend publishes
+        once per field epoch — the dominant term the decomposition
+        planner charges against inter-process backends.
+        """
+        ny, nx = self.grid_shape
+        return int(ny) * int(nx) * 2 * _BYTES_FLOAT64
+
+    @property
+    def particle_bytes(self) -> int:
+        """Per-frame particle state bytes: (x, y) positions + intensity."""
+        return self.n_spots * 3 * _BYTES_FLOAT64
 
     # -- the paper's workloads --------------------------------------------------
     @classmethod
@@ -163,3 +204,43 @@ class SpotWorkload:
             texture_size=self.texture_size,
             grid_shape=self.grid_shape,
         )
+
+
+def workload_from_config(
+    config: "SpotNoiseConfig",
+    field: "Optional[VectorField2D]" = None,
+    grid_shape: "Optional[tuple[int, int]]" = None,
+) -> SpotWorkload:
+    """Translate a synthesis configuration into a machine-model workload.
+
+    Pixel coverage per spot is estimated from the spot geometry and grid
+    resolution (the same arithmetic the workload constructors use for the
+    paper's two applications).  The grid comes from *field* when given,
+    else from an explicit ``(ny, nx)`` *grid_shape* (the serving layer's
+    latency predictor knows the shape without loading data), else from
+    the documented default :data:`DEFAULT_WORKLOAD_GRID_SHAPE` — in every
+    case it feeds both the per-spot coverage estimate and the workload's
+    ``grid_shape``, so machine-model predictions stay self-consistent.
+    """
+    if field is not None:
+        grid_shape = tuple(field.grid.shape)
+    elif grid_shape is None:
+        grid_shape = DEFAULT_WORKLOAD_GRID_SHAPE
+    grid_shape = (int(grid_shape[0]), int(grid_shape[1]))
+    nx = grid_shape[1]
+    if config.spot_mode == "bent":
+        b = config.bent
+        px_per_cell = config.texture_size / nx
+        pixels = max(1.0, (b.length_cells * px_per_cell) * (b.width_cells * px_per_cell))
+    else:
+        r_px = config.spot_radius_cells * config.texture_size / nx
+        pixels = max(1.0, np.pi * r_px * r_px)
+    return SpotWorkload(
+        name="custom",
+        n_spots=config.n_spots,
+        vertices_per_spot=config.vertices_per_spot(),
+        quads_per_spot=config.quads_per_spot(),
+        pixels_per_spot=float(pixels),
+        texture_size=config.texture_size,
+        grid_shape=grid_shape,
+    )

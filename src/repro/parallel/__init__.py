@@ -4,10 +4,16 @@ This package implements the paper's parallel decomposition *for real*:
 spots are partitioned into disjoint sets, each set is processed by one
 process group driving one simulated graphics pipe, partial textures are
 gathered and blended into the final texture.  Execution backends range
-from serial (reference) to thread- and process-based; all backends
-produce bit-identical textures for the same seed, which is the core
-correctness property of the decomposition (spots are independent and
-blending is associative/commutative addition).
+from serial (reference) through thread- and process-based to zero-copy
+shared-memory process groups (:mod:`repro.parallel.sharedmem`); all
+backends produce bit-identical textures for the same seed, which is the
+core correctness property of the decomposition (spots are independent
+and blending is associative/commutative addition).
+
+The decomposition itself can be *planned* instead of configured: the
+cost-model :class:`~repro.parallel.planner.DecompositionPlanner` prices
+candidate (backend, n_groups, partition) triples — eq 3.2's blend term
+included — and ``SpotNoiseConfig(backend="auto")`` resolves through it.
 """
 
 from repro.parallel.partition import (
@@ -16,13 +22,20 @@ from repro.parallel.partition import (
     spatial_partition,
 )
 from repro.parallel.tiling import TileLayout, Tile
-from repro.parallel.groups import ProcessGroup, GroupResult
+from repro.parallel.groups import FrameWork, GroupResult, GroupSpec, ProcessGroup
 from repro.parallel.backends import (
+    BACKEND_NAMES,
     ExecutionBackend,
     SerialBackend,
     ThreadBackend,
     ProcessBackend,
     get_backend,
+)
+from repro.parallel.sharedmem import SharedMemoryBackend
+from repro.parallel.planner import (
+    DecompositionPlan,
+    DecompositionPlanner,
+    PlanCandidate,
 )
 from repro.parallel.compose import compose_add, compose_tiles
 from repro.parallel.runtime import DivideAndConquerRuntime, RuntimeReport
@@ -35,10 +48,17 @@ __all__ = [
     "Tile",
     "ProcessGroup",
     "GroupResult",
+    "GroupSpec",
+    "FrameWork",
+    "BACKEND_NAMES",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "SharedMemoryBackend",
+    "DecompositionPlan",
+    "DecompositionPlanner",
+    "PlanCandidate",
     "get_backend",
     "compose_add",
     "compose_tiles",

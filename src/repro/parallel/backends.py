@@ -10,6 +10,19 @@ The decomposition is backend-agnostic: any callable that maps
 * :class:`ProcessBackend` — a process per group via
   :mod:`multiprocessing`; true isolation, tasks are pickled.  This is the
   closest analogue of the paper's process groups on IRIX.
+* :class:`~repro.parallel.sharedmem.SharedMemoryBackend` (name
+  ``"sharedmem"``) — process groups over
+  :mod:`multiprocessing.shared_memory`: the field and particle arrays
+  are published once per epoch and workers receive only group index
+  sets, so nothing heavy is pickled per frame.
+
+Backends consume work at two granularities: :meth:`ExecutionBackend.run`
+takes fully materialised :class:`~repro.parallel.groups.GroupTask`
+objects, while :meth:`ExecutionBackend.run_frame` takes one
+structure-shared :class:`~repro.parallel.groups.FrameWork` (the runtime's
+native call).  The default ``run_frame`` materialises tasks and
+delegates to ``run``, so classic backends behave exactly as before;
+zero-copy backends override it.
 
 The pooled backends (thread and process) keep their worker pools alive
 across :meth:`~ExecutionBackend.run` calls so animation frames amortise
@@ -35,7 +48,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Sequence, Type
 
 from repro.errors import BackendError
-from repro.parallel.groups import GroupResult, GroupTask, render_group
+from repro.parallel.groups import FrameWork, GroupResult, GroupTask, render_group
 
 
 class ExecutionBackend:
@@ -45,6 +58,16 @@ class ExecutionBackend:
 
     def run(self, tasks: Sequence[GroupTask]) -> List[GroupResult]:
         raise NotImplementedError
+
+    def run_frame(self, frame: FrameWork) -> List[GroupResult]:
+        """Execute one structure-shared frame of group work.
+
+        The default materialises the per-group tasks (bit-identical to
+        the arrays the runtime used to build directly) and delegates to
+        :meth:`run`; shared-state backends override this to avoid the
+        per-group copies entirely.
+        """
+        return self.run(frame.tasks())
 
     def close(self) -> None:
         """Release any pooled workers (no-op by default)."""
@@ -68,10 +91,14 @@ class SerialBackend(ExecutionBackend):
 class ThreadBackend(ExecutionBackend):
     """One thread per group (bounded by *max_workers*).
 
-    The executor persists across frames (grown when a later frame needs
-    more workers), honouring the runtime's promise that pools survive an
-    animation.  A task exception propagates to the caller but leaves the
-    executor usable — threads do not die with the task.
+    The executor persists across frames and *grows in place* to the
+    high-water group count when ``max_workers`` is ``None``: raising the
+    executor's worker bound keeps every warm thread (a
+    ``ThreadPoolExecutor`` only spawns threads on demand up to that
+    bound), so a frame that needs more groups than the last one neither
+    stalls on a ``shutdown(wait=True)`` nor discards warm workers.  A
+    task exception propagates to the caller but leaves the executor
+    usable — threads do not die with the task.
     """
 
     name = "thread"
@@ -86,12 +113,14 @@ class ThreadBackend(ExecutionBackend):
 
     def _ensure_pool_locked(self, n: int) -> ThreadPoolExecutor:
         size = self.max_workers or n
-        if self._pool is not None and self._pool_size < size:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-            self._pool_size = 0
         if self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=size)
+            self._pool_size = size
+        elif self._pool_size < size:
+            # Grow to the new high-water mark without tearing the
+            # executor down: existing threads stay warm and the extra
+            # ones are spawned lazily by the executor itself.
+            self._pool._max_workers = size
             self._pool_size = size
         return self._pool
 
@@ -152,15 +181,21 @@ class ProcessBackend(ExecutionBackend):
             pool = self._ensure_pool_locked(len(tasks))
             try:
                 return pool.map(render_group, tasks)
-            except Exception as exc:
+            except BaseException as exc:
                 # The pool may be unusable after a failed map (dead
                 # workers, half-drained queues); discard it so the next
                 # frame gets a fresh one instead of failing forever.
+                # BaseException on purpose: a KeyboardInterrupt or
+                # SystemExit mid-map leaves the pool exactly as corrupt
+                # as a task failure does, and skipping the discard here
+                # would poison every later frame.
                 pool.terminate()
                 pool.join()
                 self._pool = None
                 self._pool_size = 0
-                raise BackendError(f"process backend failed: {exc}") from exc
+                if isinstance(exc, Exception):
+                    raise BackendError(f"process backend failed: {exc}") from exc
+                raise  # KeyboardInterrupt/SystemExit propagate unwrapped
 
     def close(self) -> None:
         with self._pool_lock:
@@ -177,13 +212,29 @@ _BACKENDS: Dict[str, Type[ExecutionBackend]] = {
     ProcessBackend.name: ProcessBackend,
 }
 
+#: Names resolvable by :func:`get_backend` (``sharedmem`` loads lazily to
+#: keep the import cycle between this module and the shared-memory
+#: implementation one-directional).
+BACKEND_NAMES = ("serial", "thread", "process", "sharedmem")
+
 
 def get_backend(name: str, **kwargs) -> ExecutionBackend:
-    """Instantiate a backend by name (``serial``, ``thread``, ``process``)."""
+    """Instantiate a backend by name (one of :data:`BACKEND_NAMES`).
+
+    ``"auto"`` is deliberately *not* a backend: it is resolved to a
+    concrete (backend, n_groups, partition) triple by the
+    :class:`~repro.parallel.planner.DecompositionPlanner` before any
+    backend is constructed.
+    """
+    if name == "sharedmem":
+        from repro.parallel.sharedmem import SharedMemoryBackend
+
+        return SharedMemoryBackend(**kwargs)
     try:
         cls = _BACKENDS[name]
     except KeyError:
+        hint = "; backend='auto' must be resolved by the planner first" if name == "auto" else ""
         raise BackendError(
-            f"unknown backend {name!r}; available: {sorted(_BACKENDS)}"
+            f"unknown backend {name!r}; available: {sorted(BACKEND_NAMES)}{hint}"
         ) from None
     return cls(**kwargs)

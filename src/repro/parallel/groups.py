@@ -1,7 +1,11 @@
 """Process groups: the per-pipe unit of work.
 
 A :class:`GroupTask` bundles everything one process group needs to render
-its particle set into a partial texture; :func:`render_group` is the pure
+its particle set into a partial texture; a :class:`FrameWork` describes a
+whole frame structure-shared — the field, config and particle arrays
+once, plus per-group :class:`GroupSpec` index sets — so backends can
+ship the heavy state a single time instead of once per group.
+:func:`render_group` is the pure
 (picklable, side-effect-free) function executed by whichever backend —
 it builds the spot geometry for the group's spots, streams it through a
 private simulated :class:`~repro.glsim.pipe.GraphicsPipe`, and returns
@@ -17,9 +21,9 @@ groups — the axis the paper's figure 5 draws.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 from functools import lru_cache
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -36,7 +40,15 @@ from repro.spots.transform import flow_transforms, spot_quads
 
 @dataclass
 class GroupTask:
-    """Everything one group needs (picklable for the process backend)."""
+    """Everything one group needs (picklable for the process backend).
+
+    ``speed_hint`` is the frame's reference speed (the clamped
+    ``field.max_magnitude()``), computed once per frame by the runtime
+    instead of once per group — an O(grid) scan that is a pure function
+    of the shared field, so recomputing it in every group is waste.  A
+    task built without one falls back to computing it locally, which
+    yields the identical value.
+    """
 
     group_index: int
     positions: np.ndarray      # (n, 2) spot centres of this group's set
@@ -46,12 +58,128 @@ class GroupTask:
     fb_size: Tuple[int, int]   # (width, height) of this group's buffer
     fb_window: Tuple[float, float, float, float]
     n_processors: int = 1
+    speed_hint: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.positions.ndim != 2 or self.positions.shape[1] != 2:
             raise PartitionError(f"positions must be (n, 2), got {self.positions.shape}")
         if self.intensities.shape != (self.positions.shape[0],):
             raise PartitionError("intensities must match positions")
+
+
+@dataclass
+class GroupSpec:
+    """Structural description of one group inside a :class:`FrameWork`.
+
+    Unlike :class:`GroupTask`, a spec does *not* carry the group's
+    particle arrays — only the index set selecting them out of the
+    frame's shared particle collection.  Backends that place the frame
+    state in shared memory ship these index sets (plus an epoch tag)
+    instead of pickled copies of the field and particles.
+    """
+
+    group_index: int
+    indices: np.ndarray        # int64 indices into the frame's particle arrays
+    fb_size: Tuple[int, int]   # (width, height) of this group's buffer
+    fb_window: Tuple[float, float, float, float]
+    n_processors: int = 1
+
+    def __post_init__(self) -> None:
+        self.indices = np.ascontiguousarray(self.indices, dtype=np.int64)
+        if self.indices.ndim != 1:
+            raise PartitionError(f"indices must be 1-D, got {self.indices.shape}")
+
+
+@dataclass
+class FrameWork:
+    """One frame's worth of decomposition work, structure-shared.
+
+    The read-mostly state (field, config, full particle arrays) appears
+    exactly once; each :class:`GroupSpec` selects its spot subset by
+    index.  :meth:`task` materialises the classic per-group
+    :class:`GroupTask` — bit-identical inputs to what the runtime used
+    to build directly — which is how the default
+    :meth:`~repro.parallel.backends.ExecutionBackend.run_frame`
+    delegates to ``run()``.  Zero-copy backends instead publish the
+    shared arrays once and ship only the specs.
+    """
+
+    field: VectorField2D
+    config: SpotNoiseConfig
+    positions: np.ndarray      # (N, 2) full spot centres for the frame
+    intensities: np.ndarray    # (N,)
+    groups: List[GroupSpec] = dataclass_field(default_factory=list)
+    speed_hint: Optional[float] = None  # frame-wide clamped max |v|
+
+    def __post_init__(self) -> None:
+        if self.positions.ndim != 2 or self.positions.shape[1] != 2:
+            raise PartitionError(f"positions must be (n, 2), got {self.positions.shape}")
+        if self.intensities.shape != (self.positions.shape[0],):
+            raise PartitionError("intensities must match positions")
+        if self.speed_hint is None:
+            # One O(grid) scan for the whole frame; every group's
+            # geometry uses the identical reference speed it would have
+            # computed itself.
+            self.speed_hint = max(self.field.max_magnitude(), 1e-12)
+
+    def task(self, spec: GroupSpec) -> GroupTask:
+        """Materialise one group's :class:`GroupTask` (copies the subset)."""
+        return GroupTask(
+            group_index=spec.group_index,
+            positions=self.positions[spec.indices],
+            intensities=self.intensities[spec.indices],
+            field=self.field,
+            config=self.config,
+            fb_size=spec.fb_size,
+            fb_window=spec.fb_window,
+            n_processors=spec.n_processors,
+            speed_hint=self.speed_hint,
+        )
+
+    def tasks(self) -> "List[GroupTask]":
+        return [self.task(spec) for spec in self.groups]
+
+    @classmethod
+    def from_tasks(cls, tasks: "List[GroupTask]") -> "FrameWork":
+        """Rebuild a frame from homogeneous per-group tasks.
+
+        All tasks must share the same field object and configuration
+        (the invariant the runtime guarantees); the shared particle
+        arrays are the concatenation of the per-task subsets with
+        identity index ranges.
+        """
+        if not tasks:
+            raise PartitionError("cannot build a FrameWork from zero tasks")
+        first = tasks[0]
+        for t in tasks[1:]:
+            if t.field is not first.field or t.config != first.config:
+                raise PartitionError(
+                    "from_tasks requires every task to share one field and config"
+                )
+        positions = np.concatenate([t.positions for t in tasks], axis=0)
+        intensities = np.concatenate([t.intensities for t in tasks])
+        groups: List[GroupSpec] = []
+        offset = 0
+        for t in tasks:
+            n = t.positions.shape[0]
+            groups.append(
+                GroupSpec(
+                    group_index=t.group_index,
+                    indices=np.arange(offset, offset + n, dtype=np.int64),
+                    fb_size=t.fb_size,
+                    fb_window=t.fb_window,
+                    n_processors=t.n_processors,
+                )
+            )
+            offset += n
+        return cls(
+            field=first.field,
+            config=first.config,
+            positions=positions,
+            intensities=intensities,
+            groups=groups,
+            speed_hint=first.speed_hint,
+        )
 
 
 @dataclass
@@ -118,7 +246,9 @@ def render_group(task: GroupTask) -> GroupResult:
 
     n = task.positions.shape[0]
     if n > 0:
-        quads, uvs, qps = build_spot_geometry(task.positions, task.field, cfg)
+        quads, uvs, qps = build_spot_geometry(
+            task.positions, task.field, cfg, speed_hint=task.speed_hint
+        )
         weights = np.repeat(task.intensities, qps)
         pipe.execute(DrawQuads(quads, uvs, weights))
     return GroupResult(

@@ -1,0 +1,296 @@
+"""Cost-model decomposition planning.
+
+The paper chooses its decomposition from a performance model (figure 5,
+eq 3.2): total time is parallel spot work plus a sequential blend term
+that grows with the number of process groups, so the best group count is
+a balance, not a maximum.  :class:`DecompositionPlanner` turns that into
+an executable decision for the *real* backends: given a
+:class:`~repro.machine.workload.SpotWorkload` it prices every candidate
+``(backend, n_groups, partition)`` triple with the calibrated
+:class:`~repro.machine.costs.CostModel` and returns the cheapest as a
+:class:`DecompositionPlan`.
+
+Two families of constants participate:
+
+* the **render-work terms** (spot shaping, feeding, scan conversion,
+  the eq-3.2 blend term, the sequential spot-distribution preprocessing)
+  use the 1997 Onyx2 constants times a host calibration ``scale`` — the
+  same EWMA scale the serving layer's
+  :class:`~repro.service.admission.LatencyPredictor` learns online;
+* the **host transport terms** (pickling IPC for the classic process
+  backend, shared-memory memcpy for the zero-copy backend, per-group
+  worker dispatch) use present-day host magnitudes and are *not*
+  scaled.
+
+Because the calibration multiplies only the render work, it shifts the
+balance: a slow host (large scale) amortises parallel overheads and the
+plan fans out; a fast host tips the same workload back to ``serial``.
+That is exactly why the serving layer re-plans when its calibration
+drifts.  For a *fixed* calibration the plan is a deterministic pure
+function of the workload.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence, Tuple
+
+from repro.errors import BackendError, MachineError
+from repro.machine.costs import CostModel
+from repro.machine.schedule import tile_duplication
+from repro.machine.workload import SpotWorkload
+
+#: Backends the planner knows how to price, cheapest-infrastructure
+#: first — the order used to break exact ties.
+PLANNABLE_BACKENDS: "Tuple[str, ...]" = ("serial", "thread", "sharedmem", "process")
+
+_BYTES_FLOAT64 = 8
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One priced decomposition candidate."""
+
+    backend: str
+    n_groups: int
+    partition: str
+    predicted_s: float
+
+
+@dataclass(frozen=True)
+class DecompositionPlan:
+    """The planner's decision plus the full priced table.
+
+    ``apply`` stamps the decision onto a config — the bridge used by
+    ``SpotNoiseConfig(backend="auto")`` resolution in the runtime and
+    the serving layer.
+    """
+
+    backend: str
+    n_groups: int
+    partition: str
+    predicted_s: float
+    scale: float
+    candidates: "Tuple[PlanCandidate, ...]" = ()
+
+    def apply(self, config):
+        """A concrete config with this plan's decomposition stamped on."""
+        return config.with_overrides(
+            backend=self.backend, n_groups=self.n_groups, partition=self.partition
+        )
+
+    @property
+    def triple(self) -> "Tuple[str, int, str]":
+        return (self.backend, self.n_groups, self.partition)
+
+    def summary(self) -> str:
+        """Human-readable candidate table, cheapest first."""
+        lines = [
+            f"plan: backend={self.backend} n_groups={self.n_groups} "
+            f"partition={self.partition} "
+            f"({self.predicted_s * 1e3:.2f} ms/texture at scale {self.scale:.3g})"
+        ]
+        for cand in self.candidates:
+            marker = "->" if (cand.backend, cand.n_groups, cand.partition) == self.triple else "  "
+            lines.append(
+                f"  {marker} {cand.backend:>9s} x{cand.n_groups:<2d} "
+                f"{cand.partition:<11s} {cand.predicted_s * 1e3:9.2f} ms"
+            )
+        return "\n".join(lines)
+
+
+class DecompositionPlanner:
+    """Prices candidate decompositions and picks the cheapest.
+
+    Parameters
+    ----------
+    costs:
+        Cost constants (``CostModel.onyx2()`` by default; the host
+        transport constants it carries are present-day magnitudes).
+    host_workers:
+        Parallel slots actually available on this host; defaults to
+        ``os.cpu_count()``.  Effective speedup is capped by
+        ``min(n_groups, host_workers)`` — on a single-core host every
+        parallel candidate degenerates to overhead and the planner
+        correctly answers ``serial``.
+    backends:
+        Candidate backends (subset of :data:`PLANNABLE_BACKENDS`).
+    max_groups:
+        Largest group count considered.
+    thread_efficiency:
+        Fraction of a parallel slot a thread-backend group realises —
+        numpy releases the GIL in its inner loops, but the pure-python
+        glue between them serialises.
+    """
+
+    def __init__(
+        self,
+        costs: Optional[CostModel] = None,
+        host_workers: Optional[int] = None,
+        backends: "Optional[Sequence[str]]" = None,
+        max_groups: int = 8,
+        thread_efficiency: float = 0.6,
+    ):
+        self.costs = costs or CostModel.onyx2()
+        self.host_workers = int(host_workers or os.cpu_count() or 1)
+        if self.host_workers < 1:
+            raise MachineError(f"host_workers must be >= 1, got {self.host_workers}")
+        self.backends = tuple(backends or PLANNABLE_BACKENDS)
+        for name in self.backends:
+            if name not in PLANNABLE_BACKENDS:
+                raise BackendError(
+                    f"cannot plan for backend {name!r}; plannable: {PLANNABLE_BACKENDS}"
+                )
+        if max_groups < 1:
+            raise MachineError(f"max_groups must be >= 1, got {max_groups}")
+        self.max_groups = int(max_groups)
+        if not (0.0 < thread_efficiency <= 1.0):
+            raise MachineError(
+                f"thread_efficiency must be in (0, 1], got {thread_efficiency}"
+            )
+        self.thread_efficiency = float(thread_efficiency)
+
+    # -- pricing ---------------------------------------------------------------
+    def _slots(self, backend: str, n_groups: int) -> float:
+        if backend == "serial":
+            return 1.0
+        slots = float(min(n_groups, self.host_workers))
+        if backend == "thread":
+            return max(1.0, slots * self.thread_efficiency)
+        return slots
+
+    def _transport_s(self, backend: str, n_groups: int, workload: SpotWorkload,
+                     partition: str) -> float:
+        """Host-side per-frame transport + dispatch seconds (unscaled)."""
+        if backend == "serial":
+            return 0.0
+        c = self.costs
+        dispatch = n_groups * c.worker_dispatch_s
+        if backend == "thread":
+            return dispatch  # shared address space: no bytes move
+        partial_px = (
+            workload.texture_pixels // n_groups
+            if partition == "spatial"
+            else workload.texture_pixels
+        )
+        texture_bytes = n_groups * partial_px * _BYTES_FLOAT64
+        if backend == "process":
+            # The pickling pool re-ships the field to *every* group and
+            # pickles each partial texture back, every frame.
+            moved = (
+                n_groups * workload.field_bytes
+                + workload.particle_bytes
+                + texture_bytes
+            )
+            return dispatch + moved / c.ipc_bandwidth_Bps
+        # sharedmem: the field is published at most once per frame (and
+        # not at all while it is epoch-stable); particles once; partial
+        # textures come back by memcpy.  Charging the field every frame
+        # is deliberately conservative.
+        moved = workload.field_bytes + workload.particle_bytes + texture_bytes
+        return dispatch + moved / c.shm_bandwidth_Bps
+
+    def price(
+        self,
+        workload: SpotWorkload,
+        backend: str,
+        n_groups: int,
+        partition: str = "round_robin",
+        scale: float = 1.0,
+    ) -> float:
+        """Predicted seconds per texture for one candidate triple."""
+        if backend not in PLANNABLE_BACKENDS:
+            raise BackendError(f"cannot price backend {backend!r}")
+        if n_groups < 1:
+            raise MachineError(f"n_groups must be >= 1, got {n_groups}")
+        if scale <= 0:
+            raise MachineError(f"scale must be positive, got {scale}")
+        c = self.costs
+        dup = 1.0
+        if partition == "spatial" and n_groups > 1:
+            dup += tile_duplication(workload, n_groups)
+        spots = workload.n_spots * dup
+        verts = workload.total_vertices * dup
+        pixels = workload.total_pixels * dup
+        work = c.shape_time(spots, verts) + c.feed_time(verts) + c.pipe_time(verts, pixels)
+        preprocess = c.preprocess_spot_s * workload.n_spots if n_groups > 1 else 0.0
+        partial_px = (
+            workload.texture_pixels // n_groups
+            if partition == "spatial"
+            else workload.texture_pixels
+        )
+        blend = n_groups * c.blend_time(partial_px)  # the eq-3.2 `c` term
+        render_s = (work / self._slots(backend, n_groups) + preprocess + blend) * scale
+        return render_s + self._transport_s(backend, n_groups, workload, partition)
+
+    # -- planning --------------------------------------------------------------
+    def group_candidates(self) -> "Tuple[int, ...]":
+        """Group counts worth pricing: powers of two up to the cap, plus
+        the host's own parallelism."""
+        counts = {1}
+        g = 2
+        while g <= self.max_groups:
+            counts.add(g)
+            g *= 2
+        if 1 < self.host_workers <= self.max_groups:
+            counts.add(self.host_workers)
+        return tuple(sorted(counts))
+
+    def plan(
+        self,
+        workload: SpotWorkload,
+        scale: "Optional[float]" = None,
+        spatial_ok: "Optional[Callable[[int], bool]]" = None,
+    ) -> DecompositionPlan:
+        """Price every candidate and return the cheapest plan.
+
+        Parameters
+        ----------
+        workload:
+            The spot workload to decompose.
+        scale:
+            Host calibration multiplier for the render-work terms
+            (``None`` means uncalibrated, i.e. 1.0).
+        spatial_ok:
+            Optional feasibility predicate for spatial candidates — the
+            runtime passes one that checks the tile guard band can
+            absorb this config's spot reach at each group count.
+        """
+        scale = 1.0 if scale is None else float(scale)
+        candidates = []
+        for backend in self.backends:
+            for n_groups in self.group_candidates():
+                if backend == "serial" and n_groups != 1:
+                    continue
+                if backend != "serial" and n_groups == 1:
+                    continue  # one group on a pooled backend is serial + overhead
+                partitions: Iterable[str] = ("round_robin",)
+                if n_groups > 1 and (spatial_ok is None or spatial_ok(n_groups)):
+                    partitions = ("round_robin", "spatial")
+                for partition in partitions:
+                    candidates.append(
+                        PlanCandidate(
+                            backend=backend,
+                            n_groups=n_groups,
+                            partition=partition,
+                            predicted_s=self.price(
+                                workload, backend, n_groups, partition, scale=scale
+                            ),
+                        )
+                    )
+        if not candidates:
+            raise MachineError("planner produced no candidates")
+        rank = {name: i for i, name in enumerate(PLANNABLE_BACKENDS)}
+        candidates.sort(
+            key=lambda c: (c.predicted_s, c.n_groups, rank[c.backend], c.partition)
+        )
+        best = candidates[0]
+        return DecompositionPlan(
+            backend=best.backend,
+            n_groups=best.n_groups,
+            partition=best.partition,
+            predicted_s=best.predicted_s,
+            scale=scale,
+            candidates=tuple(candidates),
+        )

@@ -3,7 +3,7 @@
 The machine model already knows how expensive a texture is — the same
 per-unit costs that reproduce Tables 1 and 2 price a request here.
 :class:`LatencyPredictor` turns a config + grid shape into a closed-form
-cost estimate via :func:`repro.core.synthesizer.workload_from_config`
+cost estimate via :func:`repro.machine.workload.workload_from_config`
 and the :class:`~repro.machine.costs.CostModel` helpers, then calibrates
 an EWMA scale factor from observed render times (the absolute 1997
 constants are decades from this host, but the *structure* — spots,
@@ -22,15 +22,23 @@ import threading
 from typing import Optional, Tuple
 
 from repro.core.config import SpotNoiseConfig
-from repro.core.synthesizer import workload_from_config
 from repro.errors import AdmissionError, ServiceError
 from repro.fields.vectorfield import VectorField2D
 from repro.machine.costs import CostModel
-from repro.machine.workload import SpotWorkload
+from repro.machine.workload import SpotWorkload, workload_from_config
 
 
 class LatencyPredictor:
-    """Predicts per-render seconds and learns a host calibration online."""
+    """Predicts per-render seconds and learns a host calibration online.
+
+    The predictor remembers the last grid shape a caller priced with
+    (:meth:`predict`) and reuses it when :meth:`observe` is called
+    without one: predicting with the real grid but folding observations
+    priced on the documented ``(64, 64)`` fallback would corrupt the
+    EWMA scale with a constant bias — every observation's ratio would
+    compare seconds measured on the real workload against a raw
+    estimate of a different, usually much smaller one.
+    """
 
     def __init__(self, costs: Optional[CostModel] = None, alpha: float = 0.3):
         if not (0.0 < alpha <= 1.0):
@@ -38,6 +46,7 @@ class LatencyPredictor:
         self.costs = costs or CostModel.onyx2()
         self.alpha = alpha
         self._scale: Optional[float] = None
+        self._grid_shape: Optional[Tuple[int, int]] = None
         self._lock = threading.Lock()
 
     def _raw_estimate(self, workload: SpotWorkload) -> float:
@@ -59,20 +68,32 @@ class LatencyPredictor:
         """Predicted render seconds for *config* on this host.
 
         Prefers an explicit *grid_shape* (the service caches it from the
-        first loaded field) so prediction never forces a data load.
+        first loaded field) so prediction never forces a data load.  The
+        shape actually priced is cached for :meth:`observe`.
         """
-        raw = self._raw_estimate(
-            workload_from_config(config, field, grid_shape=grid_shape)
-        )
+        workload = workload_from_config(config, field, grid_shape=grid_shape)
+        raw = self._raw_estimate(workload)
         with self._lock:
+            self._grid_shape = workload.grid_shape
             scale = self._scale
         return raw * scale if scale is not None else raw
 
     def observe(self, config: SpotNoiseConfig, actual_s: float,
                 grid_shape: Optional[Tuple[int, int]] = None) -> None:
-        """Fold one observed render time into the calibration scale."""
+        """Fold one observed render time into the calibration scale.
+
+        *grid_shape* should be the shape the render actually ran on (the
+        service threads its cached shape through); when omitted, the
+        shape cached by the last :meth:`predict` is used, so an
+        observation is always priced against the same workload its
+        prediction was — never silently against the (64, 64) fallback
+        while predictions used the real grid.
+        """
         if actual_s <= 0:
             return
+        if grid_shape is None:
+            with self._lock:
+                grid_shape = self._grid_shape
         raw = self._raw_estimate(
             workload_from_config(config, grid_shape=grid_shape)
         )
@@ -90,6 +111,17 @@ class LatencyPredictor:
         with self._lock:
             return self._scale is not None
 
+    @property
+    def scale(self) -> Optional[float]:
+        """The learned host calibration factor (``None`` until observed).
+
+        This is the multiplier the decomposition planner applies to its
+        render-work terms — the bridge between online calibration and
+        re-planning on drift.
+        """
+        with self._lock:
+            return self._scale
+
 
 class AdmissionController:
     """Sheds renders whose predicted wait would blow the latency budget.
@@ -101,7 +133,9 @@ class AdmissionController:
         the renders already queued ahead of it.  ``None`` disables the
         latency criterion.
     max_queue:
-        Hard cap on renders queued or in flight.  ``None`` disables it.
+        Hard cap on the queue *backlog* — renders waiting for a worker,
+        not the ones already executing (those are nearly done and no
+        longer price the new request's wait).  ``None`` disables it.
 
     Cache hits and coalesced joins are never shed — they are (nearly)
     free; only work that would add a render to the queue is policed.
@@ -120,7 +154,12 @@ class AdmissionController:
         self.max_queue = max_queue
 
     def admit(self, predicted_s: Optional[float], queue_depth: int) -> None:
-        """Raise :class:`AdmissionError` if the render must be shed."""
+        """Raise :class:`AdmissionError` if the render must be shed.
+
+        *queue_depth* is the number of renders queued **ahead** of this
+        one — the scheduler's backlog, excluding flights a worker is
+        already executing (:meth:`RequestScheduler.backlog`).
+        """
         if self.max_queue is not None and queue_depth >= self.max_queue:
             raise AdmissionError(
                 f"render queue full ({queue_depth} >= {self.max_queue})"

@@ -64,9 +64,13 @@ class RequestScheduler:
     n_workers:
         Worker threads consuming the render queue.
     admit:
-        Optional callback ``admit(queue_depth)`` invoked (under the
+        Optional callback ``admit(backlog)`` invoked (under the
         scheduler lock) before a *new* flight is created; raising
-        :class:`~repro.errors.AdmissionError` rejects the request.
+        :class:`~repro.errors.AdmissionError` rejects the request.  The
+        argument is the true queue backlog — flights waiting for a
+        worker, **excluding** the ones already executing: an executing
+        render is nearly done and does not queue ahead of the new one,
+        so counting it would make budget-based admission over-shed.
     """
 
     def __init__(
@@ -82,6 +86,7 @@ class RequestScheduler:
         self._lock = threading.Lock()
         self._admit = admit
         self._closed = False
+        self._executing = 0
         self.coalesced = 0
         self.dispatched = 0
         self._workers = [
@@ -111,7 +116,7 @@ class RequestScheduler:
                 self.coalesced += 1
                 return ticket, False
             if self._admit is not None:
-                self._admit(len(self._inflight))
+                self._admit(len(self._inflight) - self._executing)
             ticket = RenderTicket(key)
             self._inflight[key] = ticket
             self.dispatched += 1
@@ -126,9 +131,21 @@ class RequestScheduler:
 
     # -- introspection ---------------------------------------------------------
     def queue_depth(self) -> int:
-        """Renders queued or executing right now."""
+        """Total flights in the system: queued **plus** executing.
+
+        This is the observability number (what the stats probe reports);
+        admission control instead receives :meth:`backlog`, which
+        excludes executing flights.
+        """
         with self._lock:
             return len(self._inflight)
+
+    def backlog(self) -> int:
+        """Renders queued and still waiting for a worker (excludes the
+        ones a worker is already executing) — the count that prices a
+        new request's wait."""
+        with self._lock:
+            return len(self._inflight) - self._executing
 
     # -- worker loop ---------------------------------------------------------------
     def _work(self) -> None:
@@ -139,6 +156,8 @@ class RequestScheduler:
             key, render, ticket = item  # type: ignore[misc]
             result: Any = None
             error: Optional[BaseException] = None
+            with self._lock:
+                self._executing += 1
             try:
                 result = render()
             except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
@@ -147,6 +166,7 @@ class RequestScheduler:
             # arrives after this point starts fresh (and will usually hit
             # the cache the render just populated).
             with self._lock:
+                self._executing -= 1
                 self._inflight.pop(key, None)
             ticket._finish(result, error)
 

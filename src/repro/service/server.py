@@ -35,7 +35,9 @@ from repro.core.synthesizer import render_frame
 from repro.errors import AdmissionError, ServiceError
 from repro.fields.io import field_digest
 from repro.fields.vectorfield import VectorField2D
-from repro.parallel.runtime import DivideAndConquerRuntime
+from repro.machine.workload import workload_from_config
+from repro.parallel.planner import DecompositionPlan, DecompositionPlanner
+from repro.parallel.runtime import DivideAndConquerRuntime, spatial_feasibility
 from repro.service.admission import AdmissionController, LatencyPredictor
 from repro.service.cache import DiskTextureCache, LRUTextureCache, TieredTextureCache
 from repro.service.keys import RequestKey, TileSpec
@@ -76,6 +78,12 @@ class FrameRenderer:
     def __init__(self, config: SpotNoiseConfig):
         self.config = config
         self.runtime = DivideAndConquerRuntime(config)
+        # Maintained by TextureService (under its re-plan lock) so a
+        # renderer superseded by a re-plan can be closed as soon as its
+        # last in-flight render finishes instead of accumulating until
+        # service shutdown.
+        self.active_renders = 0
+        self.retired = False
 
     def render(self, field: VectorField2D) -> np.ndarray:
         frame = render_frame(self.config, field, runtime=self.runtime)
@@ -116,6 +124,22 @@ class TextureService:
         in-repo clients opt in); under a source whose frames mutate it
         would serve stale textures, since content changes could no
         longer change the key.
+    planner:
+        Decomposition planner used when ``config.backend == "auto"``:
+        frame 0 is loaded eagerly, the workload priced, and the
+        cheapest (backend, n_groups, partition) triple becomes the
+        service's *resolved* config.  The resolved config — not the
+        requested ``"auto"`` one — is what gets fingerprinted into
+        cache keys, so a different plan can only ever cause an extra
+        render, never a wrong cache hit.
+    replan_drift:
+        With an auto config, re-plan when the predictor's learned
+        calibration scale drifts by more than this factor from the
+        scale the current plan was priced at (the balance between
+        render work and parallel overhead is exactly what calibration
+        shifts).  A changed plan swaps in a fresh renderer and new
+        cache keys atomically; in-flight renders keep the renderer
+        they started with.
     """
 
     def __init__(
@@ -130,6 +154,8 @@ class TextureService:
         memoize_digests: bool = False,
         preview_pgm: bool = False,
         stats: Optional[ServiceStats] = None,
+        planner: Optional[DecompositionPlanner] = None,
+        replan_drift: float = 2.0,
     ):
         if config.seed is None:
             # The whole subsystem rests on render_frame being a pure
@@ -140,11 +166,46 @@ class TextureService:
                 "TextureService requires a deterministic config: set "
                 "SpotNoiseConfig.seed to an integer (got seed=None)"
             )
+        if replan_drift <= 1.0:
+            raise ServiceError(
+                f"replan_drift must be > 1 (a drift factor), got {replan_drift}"
+            )
         self.field_source = field_source
-        self.config = config
+        self.requested_config = config
         self.stats = stats or ServiceStats()
         self.predictor = predictor or LatencyPredictor()
         self.admission = admission
+        self._grid_shape: Optional[Tuple[int, int]] = None
+        self._planner: Optional[DecompositionPlanner] = None
+        self._plan: Optional[DecompositionPlan] = None
+        self._plan_scale = 1.0
+        self._replan_drift = float(replan_drift)
+        self._replan_lock = threading.Lock()
+        self._retired_renderers: "list[FrameRenderer]" = []
+        self.replans = 0
+        if config.backend == "auto":
+            self._planner = planner or DecompositionPlanner()
+            field0 = field_source(0)
+            self._grid_shape = tuple(field0.grid.shape)
+            self._plan_workload = workload_from_config(config, field0)
+            # Feasibility is a pure function of geometry + config, so
+            # the per-group answers can be memoised for re-planning
+            # without keeping frame 0 alive.
+            feasible = spatial_feasibility(config, field0)
+            self._spatial_ok_cache: Dict[int, bool] = {}
+
+            def spatial_ok(n_groups: int, _f=feasible) -> bool:
+                if n_groups not in self._spatial_ok_cache:
+                    self._spatial_ok_cache[n_groups] = _f(n_groups)
+                return self._spatial_ok_cache[n_groups]
+
+            self._spatial_ok = spatial_ok
+            self._plan_scale = self.predictor.scale or 1.0
+            self._plan = self._planner.plan(
+                self._plan_workload, scale=self._plan_scale, spatial_ok=spatial_ok
+            )
+            config = self._plan.apply(config)
+        self.config = config
         disk = DiskTextureCache(disk_dir, preview_pgm=preview_pgm) if disk_dir else None
         self.cache = TieredTextureCache(LRUTextureCache(memory_budget_bytes), disk)
         self.renderer = FrameRenderer(config)
@@ -154,7 +215,6 @@ class TextureService:
         self._memoize_digests = memoize_digests
         self._digests: Dict[int, str] = {}
         self._digest_lock = threading.Lock()
-        self._grid_shape: Optional[Tuple[int, int]] = None
         self._closed = False
 
     # -- construction helpers ----------------------------------------------------
@@ -167,6 +227,54 @@ class TextureService:
         """
         kwargs.setdefault("memoize_digests", True)
         return cls(store.read, config, **kwargs)
+
+    # -- planning --------------------------------------------------------------
+    @property
+    def plan(self) -> Optional[DecompositionPlan]:
+        """The resolved decomposition plan (``None`` without auto)."""
+        return self._plan
+
+    def _maybe_replan(self) -> None:
+        """Re-plan when the learned calibration has drifted enough.
+
+        Called from render workers after each calibration observation.
+        A changed plan swaps the resolved config, fingerprint and
+        renderer together; renders already in flight finish on the
+        renderer they bound at submission, so every cache entry is
+        consistent with the key it was stored under.
+        """
+        if self._planner is None:
+            return
+        scale = self.predictor.scale
+        if scale is None:
+            return
+        with self._replan_lock:
+            ref = self._plan_scale
+            drift = scale / ref if ref > 0 else float("inf")
+            if 1.0 / self._replan_drift <= drift <= self._replan_drift:
+                return
+            plan = self._planner.plan(
+                self._plan_workload, scale=scale, spatial_ok=self._spatial_ok
+            )
+            self._plan_scale = scale
+            if plan.triple == self._plan.triple:
+                self._plan = plan  # same decomposition, fresher pricing
+                return
+            config = plan.apply(self.requested_config)
+            renderer = FrameRenderer(config)
+            old = self.renderer
+            old.retired = True
+            close_now = old.active_renders == 0
+            if not close_now:
+                # Closed by the last in-flight render's epilogue.
+                self._retired_renderers.append(old)
+            self._plan = plan
+            self.config = config
+            self.renderer = renderer
+            self._fingerprint = config.fingerprint()
+            self.replans += 1
+        if close_now:
+            old.close()
 
     # -- internals -------------------------------------------------------------
     def _admit(self, queue_depth: int) -> None:
@@ -257,18 +365,45 @@ class TextureService:
         frame: int,
         field: Optional[VectorField2D],
         predicted: Optional[float],
-    ) -> Callable[[], np.ndarray]:
+    ) -> "tuple[Callable[[], np.ndarray], FrameRenderer]":
+        # Bind the renderer (and the config it was built from) now: a
+        # drift re-plan may swap self.renderer while this render waits
+        # in the queue, and the bytes cached under `render_digest` must
+        # come from the plan that digest was keyed with.  The refcount
+        # lets a re-plan close the superseded renderer the moment its
+        # last bound render finishes.
+        with self._replan_lock:
+            renderer = self.renderer
+            config = self.config
+            renderer.active_renders += 1
+
         def do_render() -> np.ndarray:
-            f = field if field is not None else self._load_field(frame)
-            t0 = time.perf_counter()
-            texture = self.renderer.render(f)
-            actual = time.perf_counter() - t0
-            self.cache.put(render_digest, texture)
-            self.predictor.observe(self.config, actual, grid_shape=self._grid_shape)
-            self.stats.record_render(predicted, actual)
+            try:
+                f = field if field is not None else self._load_field(frame)
+                t0 = time.perf_counter()
+                texture = renderer.render(f)
+                actual = time.perf_counter() - t0
+                self.cache.put(render_digest, texture)
+                self.predictor.observe(config, actual, grid_shape=self._grid_shape)
+                self.stats.record_render(predicted, actual)
+            finally:
+                self._release_renderer_ref(renderer)
+            self._maybe_replan()
             return texture
 
-        return do_render
+        return do_render, renderer
+
+    def _release_renderer_ref(self, renderer: FrameRenderer) -> None:
+        """Drop one in-flight reference; close a fully-drained retiree."""
+        close_now = False
+        with self._replan_lock:
+            renderer.active_renders -= 1
+            if renderer.retired and renderer.active_renders == 0:
+                close_now = True
+                if renderer in self._retired_renderers:
+                    self._retired_renderers.remove(renderer)
+        if close_now:
+            renderer.close()
 
     def _render_coalesced(
         self,
@@ -278,9 +413,14 @@ class TextureService:
         predicted: Optional[float],
         timeout: Optional[float],
     ) -> "tuple[np.ndarray, str]":
-        ticket, created = self.scheduler.submit(
-            render_digest, self._make_render(render_digest, frame, field, predicted)
-        )
+        render, renderer = self._make_render(render_digest, frame, field, predicted)
+        try:
+            ticket, created = self.scheduler.submit(render_digest, render)
+        except BaseException:
+            self._release_renderer_ref(renderer)  # closure never runs
+            raise
+        if not created:
+            self._release_renderer_ref(renderer)  # coalesced: closure dropped
         texture = ticket.wait(timeout)
         return texture, ("render" if created else "coalesced")
 
@@ -293,13 +433,15 @@ class TextureService:
             key, field = self._key_for(frame)
             if self.cache.get(key.digest)[0] is not None:
                 continue
+            render, renderer = self._make_render(key.digest, frame, field, None)
             try:
-                _, created = self.scheduler.submit(
-                    key.digest, self._make_render(key.digest, frame, field, None)
-                )
+                _, created = self.scheduler.submit(key.digest, render)
             except AdmissionError:
+                self._release_renderer_ref(renderer)
                 self.stats.record_shed()
                 continue
+            if not created:
+                self._release_renderer_ref(renderer)
             scheduled += int(created)
         return scheduled
 
@@ -327,6 +469,9 @@ class TextureService:
         self._closed = True
         self.scheduler.close()
         self.renderer.close()
+        for renderer in self._retired_renderers:
+            renderer.close()
+        self._retired_renderers = []
 
     def __enter__(self) -> "TextureService":
         return self

@@ -51,12 +51,12 @@ def empty_task(group_index, config=BASE):
 
 
 class TestEmptyWork:
-    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process", "sharedmem"])
     def test_no_tasks(self, backend):
         with get_backend(backend) as be:
             assert be.run([]) == []
 
-    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process", "sharedmem"])
     def test_all_groups_empty(self, backend):
         tasks = [empty_task(g) for g in range(3)]
         with get_backend(backend) as be:
@@ -66,7 +66,7 @@ class TestEmptyWork:
             assert r.n_spots == 0
             assert float(np.abs(r.texture).sum()) == 0.0
 
-    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process", "sharedmem"])
     @pytest.mark.parametrize("partition", ["round_robin", "block", "spatial"])
     def test_more_groups_than_spots(self, backend, partition):
         # 2 spots over 4 groups: at least two groups receive zero spots.
@@ -92,13 +92,23 @@ class TestThreadBackendPersistence:
             be.run([make_task(0), make_task(1)])
             assert be._pool is pool_first
 
-    def test_executor_grows_when_needed(self):
+    def test_executor_grows_in_place_when_needed(self):
+        # Regression: growth used to shutdown(wait=True) + recreate,
+        # stalling the frame and discarding warm threads whenever the
+        # group count varied.  The executor must grow to the high-water
+        # size without being torn down.
         with ThreadBackend() as be:
             be.run([make_task(0)])
             small = be._pool
+            warm_threads = set(small._threads)
             be.run([make_task(g) for g in range(3)])
-            assert be._pool is not small  # grown for the larger frame
+            assert be._pool is small  # same executor, grown in place
             assert be._pool_size == 3
+            assert warm_threads <= set(small._threads)  # warm threads kept
+            # Shrinking frames never shrink the pool, and still work.
+            results = be.run([make_task(0)])
+            assert be._pool is small and be._pool_size == 3
+            assert results[0].n_spots == 4
 
     def test_task_error_leaves_executor_usable(self):
         bad = make_task(0, config=BASE.with_overrides(profile="no-such-profile"))
@@ -138,3 +148,23 @@ class TestProcessBackendRecovery:
             pool = be._pool
             be.run([make_task(1)])
             assert be._pool is pool
+
+    @pytest.mark.parametrize("interrupt", [KeyboardInterrupt, SystemExit])
+    def test_pool_discarded_after_interrupt(self, interrupt, monkeypatch):
+        # Regression: run() caught only Exception, so an interrupt
+        # mid-map skipped the discard path and every later frame reused
+        # the corrupt pool.  BaseException must discard and re-raise
+        # unwrapped.
+        with ProcessBackend(max_workers=2) as be:
+            be.run([make_task(0)])
+            assert be._pool is not None
+            monkeypatch.setattr(
+                be._pool, "map", lambda *a, **k: (_ for _ in ()).throw(interrupt())
+            )
+            with pytest.raises(interrupt):
+                be.run([make_task(0)])
+            # The possibly-corrupt pool must be gone...
+            assert be._pool is None
+            # ...and the next frame must succeed on a fresh one.
+            results = be.run([make_task(0)])
+            assert results[0].n_spots == 4

@@ -1,0 +1,162 @@
+"""Decomposition planner: pricing properties, determinism, auto wiring.
+
+The planner's value is in its *shape*, not its absolute numbers: tiny
+workloads must stay serial (overheads dominate), big workloads must fan
+out (eq 3.2's balance tips), host calibration must move the balance, and
+for a fixed calibration the plan must be a pure function.
+"""
+
+import numpy as np
+import pytest
+
+from repro.advection.particles import ParticleSet
+from repro.core.config import SpotNoiseConfig
+from repro.errors import BackendError, MachineError
+from repro.fields.analytic import vortex_field
+from repro.machine.workload import SpotWorkload, workload_from_config
+from repro.parallel.planner import (
+    PLANNABLE_BACKENDS,
+    DecompositionPlanner,
+    DecompositionPlan,
+)
+from repro.parallel.runtime import DivideAndConquerRuntime
+
+TINY = SpotWorkload.standard_spots(50, texture_size=64)
+HUGE = SpotWorkload.turbulence()
+
+
+class TestPlanProperties:
+    def test_tiny_workload_plans_serial(self):
+        plan = DecompositionPlanner(host_workers=8).plan(TINY)
+        assert plan.triple == ("serial", 1, "round_robin")
+
+    def test_huge_workload_plans_parallel(self):
+        plan = DecompositionPlanner(host_workers=8).plan(HUGE)
+        assert plan.backend != "serial"
+        assert plan.n_groups > 1
+
+    def test_single_core_host_plans_serial(self):
+        # min(n_groups, 1) slot: every parallel candidate is pure
+        # overhead, whatever the workload size.
+        plan = DecompositionPlanner(host_workers=1).plan(HUGE)
+        assert plan.backend == "serial"
+
+    def test_sharedmem_prices_below_pickling_process(self):
+        p = DecompositionPlanner(host_workers=8)
+        for n_groups in (2, 4, 8):
+            assert p.price(HUGE, "sharedmem", n_groups) < p.price(
+                HUGE, "process", n_groups
+            )
+
+    def test_calibration_scale_moves_the_balance(self):
+        # A slow host (large scale) amortises parallel overhead; a fast
+        # host tips the same workload back to serial.
+        p = DecompositionPlanner(host_workers=8)
+        mid = SpotWorkload.standard_spots(4000)
+        slow = p.plan(mid, scale=50.0)
+        fast = p.plan(mid, scale=1e-4)
+        assert slow.n_groups > 1
+        assert fast.triple == ("serial", 1, "round_robin")
+
+    def test_plan_deterministic_for_fixed_calibration(self):
+        p = DecompositionPlanner(host_workers=8)
+        a = p.plan(HUGE, scale=2.5)
+        b = p.plan(HUGE, scale=2.5)
+        assert a == b
+        assert isinstance(a, DecompositionPlan)
+
+    def test_candidates_sorted_and_complete(self):
+        plan = DecompositionPlanner(host_workers=4, max_groups=4).plan(HUGE)
+        prices = [c.predicted_s for c in plan.candidates]
+        assert prices == sorted(prices)
+        assert plan.candidates[0].predicted_s == plan.predicted_s
+        backends = {c.backend for c in plan.candidates}
+        assert backends == set(PLANNABLE_BACKENDS)
+
+    def test_spatial_ok_gates_spatial_candidates(self):
+        plan = DecompositionPlanner(host_workers=8).plan(
+            HUGE, spatial_ok=lambda n: False
+        )
+        assert all(c.partition != "spatial" for c in plan.candidates)
+
+    def test_blend_term_penalises_more_groups(self):
+        # Eq 3.2: the sequential blend grows with n_groups; for a fixed
+        # backend the price must eventually rise again past the knee.
+        p = DecompositionPlanner(host_workers=4, max_groups=64)
+        prices = [p.price(HUGE, "sharedmem", n) for n in (4, 8, 16, 32, 64)]
+        assert prices[-1] > prices[0]
+
+    def test_apply_produces_valid_config(self):
+        plan = DecompositionPlanner(host_workers=8).plan(HUGE)
+        cfg = plan.apply(SpotNoiseConfig(backend="auto", seed=0))
+        assert cfg.backend == plan.backend
+        assert cfg.n_groups == plan.n_groups
+        assert cfg.partition == plan.partition
+
+    def test_summary_marks_winner(self):
+        plan = DecompositionPlanner(host_workers=8).plan(TINY)
+        text = plan.summary()
+        assert "->" in text and "serial" in text
+
+
+class TestValidation:
+    def test_unplannable_backend_rejected(self):
+        with pytest.raises(BackendError):
+            DecompositionPlanner(backends=("gpu",))
+        with pytest.raises(BackendError):
+            DecompositionPlanner().price(TINY, "gpu", 2)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(MachineError):
+            DecompositionPlanner(max_groups=0)
+        with pytest.raises(MachineError):
+            DecompositionPlanner(thread_efficiency=0.0)
+        with pytest.raises(MachineError):
+            DecompositionPlanner().price(TINY, "serial", 0)
+        with pytest.raises(MachineError):
+            DecompositionPlanner().price(TINY, "serial", 1, scale=0.0)
+
+
+class TestAutoRuntime:
+    FIELD = vortex_field(n=33)
+
+    def test_auto_resolves_and_matches_resolved_config_exactly(self):
+        cfg = SpotNoiseConfig(
+            n_spots=150, texture_size=64, seed=3, backend="auto"
+        )
+        ps = ParticleSet.uniform_random(150, self.FIELD.grid.bounds, seed=3)
+        with DivideAndConquerRuntime(cfg) as rt:
+            out, rep = rt.synthesize(self.FIELD, ps.copy())
+            resolved = rt.resolved_config
+            plan = rt.plan
+        assert plan is not None
+        assert resolved.backend in PLANNABLE_BACKENDS
+        assert rep.backend == resolved.backend
+        # The auto texture must equal a direct render under the resolved
+        # config, bit for bit — auto is a planner, not a new renderer.
+        with DivideAndConquerRuntime(resolved) as rt:
+            ref, _ = rt.synthesize(self.FIELD, ps.copy())
+        np.testing.assert_array_equal(out, ref)
+
+    def test_auto_plan_is_stable_across_frames(self):
+        cfg = SpotNoiseConfig(n_spots=100, texture_size=64, seed=1, backend="auto")
+        ps = ParticleSet.uniform_random(100, self.FIELD.grid.bounds, seed=1)
+        with DivideAndConquerRuntime(cfg) as rt:
+            rt.synthesize(self.FIELD, ps.copy())
+            first = rt.plan
+            rt.synthesize(self.FIELD, ps.copy())
+            assert rt.plan is first  # resolved once per runtime lifetime
+
+    def test_injected_backend_settles_auto(self):
+        from repro.parallel.backends import SerialBackend
+
+        cfg = SpotNoiseConfig(n_spots=50, texture_size=32, seed=0, backend="auto")
+        be = SerialBackend()
+        with DivideAndConquerRuntime(cfg, backend=be) as rt:
+            assert rt.resolved_config.backend == "serial"
+
+    def test_planner_workload_round_trip(self):
+        cfg = SpotNoiseConfig(n_spots=500, texture_size=128, seed=0)
+        w = workload_from_config(cfg, self.FIELD)
+        assert w.grid_shape == tuple(self.FIELD.grid.shape)
+        assert w.field_bytes == self.FIELD.nbytes()

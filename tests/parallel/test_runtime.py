@@ -88,7 +88,7 @@ class TestSequentialEquivalence:
 
 
 class TestBackendEquivalence:
-    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process", "sharedmem"])
     def test_backends_identical(self, backend):
         ps = make_particles()
         ref, _ = synthesize(BASE.with_overrides(n_groups=2), ps.copy())
@@ -117,7 +117,7 @@ class TestRasterBackendEquivalence:
     EXACT = BASE.with_overrides(n_spots=120, render_mode="exact", raster_backend="exact")
     BATCHED = BASE.with_overrides(n_spots=120, render_mode="exact", raster_backend="batched")
 
-    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process", "sharedmem"])
     @pytest.mark.parametrize(
         "partition,n_groups", [("round_robin", 3), ("block", 3), ("spatial", 4)]
     )

@@ -1,0 +1,251 @@
+"""Shared-memory backend: zero-copy equivalence, epochs, lifecycle.
+
+The backend's contract is threefold: bit-identical output to the serial
+reference for every partition/group-count (the zoo), worker-resident
+state invalidated by epoch tags (``read_data``/config changes), and a
+pool that survives task failures but not infrastructure ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.advection.particles import ParticleSet
+from repro.core.config import SpotNoiseConfig
+from repro.errors import BackendError
+from repro.fields.analytic import random_smooth_field, vortex_field
+from repro.parallel.groups import FrameWork, GroupSpec, GroupTask
+from repro.parallel.runtime import DivideAndConquerRuntime
+from repro.parallel.sharedmem import SharedMemoryBackend
+
+FIELD = vortex_field(n=33)
+BASE = SpotNoiseConfig(
+    n_spots=120, texture_size=64, spot_mode="standard", render_mode="exact", seed=7
+)
+
+
+def make_particles(n=120, seed=7):
+    return ParticleSet.uniform_random(n, FIELD.grid.bounds, seed=seed)
+
+
+def synthesize(config, particles, field=FIELD, backend=None):
+    with DivideAndConquerRuntime(config, backend=backend) as rt:
+        texture, report = rt.synthesize(field, particles)
+    return texture, report
+
+
+class TestEquivalenceZoo:
+    """Bit-identical to SerialBackend across the partition matrix."""
+
+    @pytest.mark.parametrize(
+        "partition,n_groups",
+        [("round_robin", 2), ("round_robin", 5), ("block", 3), ("spatial", 4)],
+    )
+    def test_bitwise_identical_to_serial(self, partition, n_groups):
+        ps = make_particles()
+        overrides = dict(partition=partition, n_groups=n_groups, guard_px=16)
+        ref, _ = synthesize(BASE.with_overrides(**overrides), ps.copy())
+        out, rep = synthesize(
+            BASE.with_overrides(backend="sharedmem", **overrides), ps.copy()
+        )
+        np.testing.assert_array_equal(out, ref)
+        assert rep.backend == "sharedmem"
+
+    def test_bent_spots_bitwise_identical(self):
+        bent = SpotNoiseConfig(
+            n_spots=40,
+            texture_size=64,
+            spot_mode="bent",
+            render_mode="exact",
+            seed=13,
+            n_groups=3,
+        ).with_overrides(
+            bent=SpotNoiseConfig().bent.__class__(
+                n_along=6, n_across=3, length_cells=2.0, width_cells=0.8
+            )
+        )
+        ps = ParticleSet.uniform_random(40, FIELD.grid.bounds, seed=13)
+        ref, _ = synthesize(bent, ps.copy())
+        out, _ = synthesize(bent.with_overrides(backend="sharedmem"), ps.copy())
+        np.testing.assert_array_equal(out, ref)
+
+    def test_sampled_render_mode_identical(self):
+        cfg = BASE.with_overrides(render_mode="sampled", n_groups=2)
+        ps = make_particles()
+        ref, _ = synthesize(cfg, ps.copy())
+        out, _ = synthesize(cfg.with_overrides(backend="sharedmem"), ps.copy())
+        np.testing.assert_array_equal(out, ref)
+
+    def test_repeated_frames_identical(self):
+        # The worker-resident caches must not change a single bit across
+        # repeated frames of one animation.
+        cfg = BASE.with_overrides(backend="sharedmem", n_groups=2)
+        ps = make_particles()
+        with DivideAndConquerRuntime(cfg) as rt:
+            first, _ = rt.synthesize(FIELD, ps.copy())
+            second, _ = rt.synthesize(FIELD, ps.copy())
+        np.testing.assert_array_equal(first, second)
+
+
+class TestEpochs:
+    def test_field_epoch_stable_for_same_object(self):
+        be = SharedMemoryBackend(max_workers=2)
+        cfg = BASE.with_overrides(n_groups=2)
+        ps = make_particles()
+        try:
+            frame = _frame(cfg, ps)
+            be.run_frame(frame)
+            epoch = be._field_epoch
+            frames = be._frame_epoch
+            be.run_frame(frame)
+            assert be._field_epoch == epoch  # same field object: no re-publish
+            assert be._frame_epoch == frames + 1  # but a new frame epoch
+        finally:
+            be.close()
+
+    def test_field_epoch_bumps_on_new_field_object(self):
+        # read_data swaps the field object; the resident copy must be
+        # invalidated or workers would render stale data.
+        be = SharedMemoryBackend(max_workers=2)
+        try:
+            cfg = BASE.with_overrides(n_groups=2)
+            ps = make_particles()
+            be.run_frame(_frame(cfg, ps))
+            epoch = be._field_epoch
+            other = random_smooth_field(seed=5, n=33)
+            out = be.run_frame(_frame(cfg, ps, field=other))
+            assert be._field_epoch == epoch + 1
+            ref, _ = synthesize(cfg, ps.copy(), field=other)
+            np.testing.assert_array_equal(_compose(out), ref)
+        finally:
+            be.close()
+
+    def test_config_epoch_bumps_on_config_change(self):
+        be = SharedMemoryBackend(max_workers=2)
+        try:
+            ps = make_particles()
+            be.run_frame(_frame(BASE.with_overrides(n_groups=2), ps))
+            epoch = be._config_epoch
+            changed = BASE.with_overrides(n_groups=2, intensity=2.0)
+            out = be.run_frame(_frame(changed, ps))
+            assert be._config_epoch == epoch + 1
+            ref, _ = synthesize(changed, ps.copy())
+            np.testing.assert_array_equal(_compose(out), ref)
+        finally:
+            be.close()
+
+
+class TestLifecycle:
+    def test_pool_persists_across_frames(self):
+        be = SharedMemoryBackend(max_workers=2)
+        try:
+            cfg = BASE.with_overrides(n_groups=2)
+            ps = make_particles()
+            be.run_frame(_frame(cfg, ps))
+            workers = list(be._workers)
+            be.run_frame(_frame(cfg, ps))
+            assert be._workers == workers
+        finally:
+            be.close()
+
+    def test_pool_grows_to_high_water(self):
+        be = SharedMemoryBackend()
+        try:
+            ps = make_particles()
+            be.run_frame(_frame(BASE.with_overrides(n_groups=2), ps))
+            assert be.pool_size == 2
+            be.run_frame(_frame(BASE.with_overrides(n_groups=4), ps))
+            assert be.pool_size == 4
+            be.run_frame(_frame(BASE.with_overrides(n_groups=2), ps))
+            assert be.pool_size == 4  # high-water, never shrinks mid-life
+        finally:
+            be.close()
+
+    def test_task_error_keeps_pool_warm(self):
+        # Unlike the classic process pool, a failing task is caught in
+        # the worker: the pool must survive and the next frame succeed.
+        be = SharedMemoryBackend(max_workers=2)
+        try:
+            ps = make_particles()
+            be.run_frame(_frame(BASE.with_overrides(n_groups=2), ps))
+            workers = list(be._workers)
+            bad = BASE.with_overrides(n_groups=2, profile="no-such-profile")
+            with pytest.raises(BackendError, match="no-such-profile"):
+                be.run_frame(_frame(bad, ps))
+            assert be._workers == workers  # same processes, still warm
+            out = be.run_frame(_frame(BASE.with_overrides(n_groups=2), ps))
+            assert len(out) == 2
+        finally:
+            be.close()
+
+    def test_run_after_close_raises(self):
+        be = SharedMemoryBackend(max_workers=1)
+        ps = make_particles()
+        be.run_frame(_frame(BASE.with_overrides(n_groups=1), ps))
+        be.close()
+        with pytest.raises(BackendError, match="closed"):
+            be.run_frame(_frame(BASE.with_overrides(n_groups=1), ps))
+
+    def test_close_idempotent_and_before_first_run(self):
+        be = SharedMemoryBackend()
+        be.close()
+        be.close()
+
+    def test_run_accepts_heterogeneous_tasks(self):
+        # Direct run() with tasks on different fields falls back to
+        # per-task frames but still returns correct results in order.
+        be = SharedMemoryBackend(max_workers=2)
+        try:
+            other = random_smooth_field(seed=9, n=33)
+            t0 = _task(0, FIELD)
+            t1 = _task(1, other)
+            results = be.run([t0, t1])
+            assert [r.group_index for r in results] == [0, 1]
+            from repro.parallel.groups import render_group
+
+            np.testing.assert_array_equal(results[0].texture, render_group(t0).texture)
+            np.testing.assert_array_equal(results[1].texture, render_group(t1).texture)
+        finally:
+            be.close()
+
+
+def _frame(config, particles, field=FIELD):
+    from repro.parallel.partition import round_robin_partition
+
+    parts = round_robin_partition(len(particles), config.n_groups)
+    size = (config.texture_size, config.texture_size)
+    return FrameWork(
+        field=field,
+        config=config,
+        positions=particles.positions,
+        intensities=particles.intensities,
+        groups=[
+            GroupSpec(
+                group_index=g,
+                indices=idx,
+                fb_size=size,
+                fb_window=field.grid.bounds,
+            )
+            for g, idx in enumerate(parts)
+        ],
+    )
+
+
+def _task(group_index, field, n=6):
+    rng = np.random.default_rng(group_index + 1)
+    x0, x1, y0, y1 = field.grid.bounds
+    return GroupTask(
+        group_index=group_index,
+        positions=rng.uniform((x0, y0), (x1, y1), (n, 2)),
+        intensities=np.where(rng.random(n) < 0.5, -1.0, 1.0),
+        field=field,
+        config=BASE,
+        fb_size=(BASE.texture_size, BASE.texture_size),
+        fb_window=field.grid.bounds,
+    )
+
+
+def _compose(results):
+    out = np.zeros_like(results[0].texture)
+    for r in results:
+        out += r.texture
+    return out

@@ -41,6 +41,32 @@ class TestLatencyPredictor:
         p.observe(cfg, actual_s=raw * 3.0)    # scale -> 2
         assert p.predict(cfg) == pytest.approx(raw * 2.0)
 
+    def test_observe_reuses_predicted_grid_shape(self):
+        """Regression: ``observe`` without an explicit grid shape used
+        to silently re-price against the documented (64, 64) fallback
+        while ``predict`` had used the real grid, folding a constant
+        bias into the EWMA scale."""
+        p = LatencyPredictor(alpha=1.0)
+        cfg = SpotNoiseConfig(n_spots=2000, texture_size=512)
+        real_grid = (208, 278)
+        fallback_raw = LatencyPredictor().predict(cfg)  # (64, 64) pricing
+        raw = p.predict(cfg, grid_shape=real_grid)
+        assert raw != pytest.approx(fallback_raw)  # the bias being guarded
+        # A render that took exactly the raw estimate means scale == 1:
+        # the calibrated prediction must come back unchanged, not
+        # multiplied by the real/fallback workload ratio.
+        p.observe(cfg, actual_s=raw)  # no grid_shape: must reuse predict's
+        assert p.scale == pytest.approx(1.0)
+        assert p.predict(cfg, grid_shape=real_grid) == pytest.approx(raw)
+
+    def test_scale_property_exposes_calibration(self):
+        p = LatencyPredictor(alpha=1.0)
+        cfg = SpotNoiseConfig(n_spots=500, texture_size=64)
+        assert p.scale is None
+        raw = p.predict(cfg)
+        p.observe(cfg, actual_s=raw * 4.0)
+        assert p.scale == pytest.approx(4.0)
+
     def test_nonpositive_observation_ignored(self):
         p = LatencyPredictor()
         cfg = SpotNoiseConfig(n_spots=500, texture_size=64)

@@ -126,7 +126,7 @@ class TestErrorsAndLifecycle:
 
 
 class TestAdmissionHook:
-    def test_admit_sees_depth_and_can_shed(self):
+    def test_admit_sees_backlog_and_can_shed(self):
         depths = []
 
         def admit(depth):
@@ -135,15 +135,46 @@ class TestAdmissionHook:
                 raise AdmissionError("queue full")
 
         hold = threading.Event()
+        started = threading.Event()
         scheduler = RequestScheduler(n_workers=1, admit=admit)
-        scheduler.submit("a", lambda: hold.wait(5.0) or np.zeros((2, 2)))
-        scheduler.submit("b", lambda: np.zeros((2, 2)))
+        scheduler.submit(
+            "a", lambda: started.set() or hold.wait(5.0) or np.zeros((2, 2))
+        )
+        assert started.wait(5.0)  # "a" is executing, not queued
+        scheduler.submit("b", lambda: np.zeros((2, 2)))  # backlog 0
+        scheduler.submit("c", lambda: np.zeros((2, 2)))  # backlog 1 (b queued)
         with pytest.raises(AdmissionError):
-            scheduler.submit("c", lambda: np.zeros((2, 2)))
+            scheduler.submit("d", lambda: np.zeros((2, 2)))  # backlog 2: shed
         # Coalescing onto an existing flight is never shed.
         _, created = scheduler.submit("a", lambda: np.zeros((2, 2)))
         assert not created
-        assert depths == [0, 1, 2]
+        assert depths == [0, 0, 1, 2]
+        hold.set()
+        scheduler.close()
+
+    def test_admit_excludes_executing_renders(self):
+        """Regression: admit used to receive len(inflight) — executing
+        plus queued — so budgets priced nearly-finished renders as if
+        they queued ahead of the new request and over-shed."""
+        depths = []
+        hold = threading.Event()
+        scheduler = RequestScheduler(n_workers=2, admit=depths.append)
+
+        def slow(started):
+            started.set()
+            hold.wait(5.0)
+            return np.zeros((2, 2))
+
+        for key in ("a", "b"):
+            started = threading.Event()
+            scheduler.submit(key, lambda started=started: slow(started))
+            assert started.wait(5.0)  # this flight is executing
+        assert scheduler.queue_depth() == 2  # total in the system...
+        assert scheduler.backlog() == 0      # ...but nothing queues ahead
+        scheduler.submit("c", lambda: np.zeros((2, 2)))
+        # The new flight was admitted against an empty backlog, not the
+        # two executing renders.
+        assert depths == [0, 0, 0]
         hold.set()
         scheduler.close()
 

@@ -164,30 +164,38 @@ class TestAdmissionIntegration:
         import threading
 
         hold = threading.Event()
+        started = threading.Event()
         svc = TextureService(
             lambda f: fields[f],
             config,
             n_workers=1,
-            admission=AdmissionController(max_queue=2),
+            admission=AdmissionController(max_queue=1),
         )
         original_render = svc.renderer.render
 
         def slow_render(field):
+            started.set()
             hold.wait(5.0)
             return original_render(field)
 
         svc.renderer.render = slow_render
         try:
             with cf.ThreadPoolExecutor(2) as pool:
-                # Two distinct renders fill the queue (one executing at the
-                # held worker, one waiting behind it)...
-                futures = [pool.submit(svc.request, f) for f in range(2)]
+                # One render executes at the held worker...
+                futures = [pool.submit(svc.request, 0)]
+                assert started.wait(5.0)
+                assert svc.scheduler.backlog() == 0
+                # ...which must NOT count against the queue cap: the cap
+                # prices renders queued ahead, and an executing render is
+                # nearly done (the over-shedding regression).
+                futures.append(pool.submit(svc.request, 1))
                 deadline = __import__("time").time() + 2.0
-                while svc.scheduler.queue_depth() < 2 and __import__("time").time() < deadline:
+                while svc.scheduler.backlog() < 1 and __import__("time").time() < deadline:
                     __import__("time").sleep(0.005)
                 assert svc.scheduler.queue_depth() == 2
-                # ...so a third distinct render must be shed, while joining
-                # an in-flight render stays admitted.
+                assert svc.scheduler.backlog() == 1
+                # A third distinct render sees a full backlog and is shed,
+                # while joining an in-flight render stays admitted.
                 with pytest.raises(AdmissionError):
                     svc.request(2)
                 assert svc.stats.sheds == 1
