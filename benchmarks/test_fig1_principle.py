@@ -9,7 +9,6 @@ statistical signature (zero-mean, spot-scale correlation).
 import os
 
 import numpy as np
-import pytest
 
 from repro.advection.particles import ParticleSet
 from repro.core.config import SpotNoiseConfig

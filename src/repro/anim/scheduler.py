@@ -57,14 +57,14 @@ class SequenceFlight:
     ):
         self.sequence_id = sequence_id
         self.first = int(first)
-        self.target = int(target)
-        self.position = int(first)  # next frame the job will render
+        self.target = int(target)  #: guarded-by: cond
+        self.position = int(first)  #: guarded-by: cond (next frame the job renders)
         self.buffer_limit = int(buffer_limit)
-        self.frames: "OrderedDict[int, object]" = OrderedDict()
+        self.frames: "OrderedDict[int, object]" = OrderedDict()  #: guarded-by: cond
         self.cond = threading.Condition()
-        self.done = False
-        self.error: Optional[BaseException] = None
-        self.joiners = 0
+        self.done = False  #: guarded-by: cond
+        self.error: Optional[BaseException] = None  #: guarded-by: cond
+        self.joiners = 0  #: guarded-by: cond
 
     # -- the worker side ---------------------------------------------------------
     def next_frame(self) -> Optional[int]:
@@ -160,9 +160,9 @@ class SequenceScheduler:
     def __init__(self, scheduler: Optional[RequestScheduler] = None, owns_scheduler: Optional[bool] = None):
         self.scheduler = scheduler or RequestScheduler(n_workers=1, name="anim-service")
         self._owns_scheduler = (scheduler is None) if owns_scheduler is None else owns_scheduler
-        self._flights: Dict[str, SequenceFlight] = {}
+        self._flights: Dict[str, SequenceFlight] = {}  #: guarded-by: _lock
         self._lock = threading.Lock()
-        self._serial = 0
+        self._serial = 0  #: guarded-by: _lock
         self.created = 0
         self.joined = 0
 

@@ -12,7 +12,7 @@ the animation loop, supporting random seeks and strided playback.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional, Tuple, Union
+from typing import Callable, Iterator, Optional, Union
 
 from repro.apps.dns.store import ChunkedFieldStore
 from repro.errors import ApplicationError

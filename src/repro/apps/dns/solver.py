@@ -23,7 +23,6 @@ from typing import Optional
 import numpy as np
 
 from repro.apps.dns.obstacle import block_mask, fringe_mask
-from repro.apps.dns.poisson import solve_poisson_periodic
 from repro.errors import ApplicationError
 from repro.fields.grid import RegularGrid
 from repro.fields.vectorfield import VectorField2D

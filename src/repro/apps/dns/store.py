@@ -21,6 +21,7 @@ import numpy as np
 from repro.errors import StoreError
 from repro.fields.grid import RectilinearGrid
 from repro.fields.vectorfield import VectorField2D
+from repro.utils.fileio import atomic_write
 
 _META_NAME = "meta.json"
 _FORMAT_VERSION = 1
@@ -53,8 +54,8 @@ class ChunkedFieldStore:
         self.grid = RectilinearGrid(np.asarray(meta["x"]), np.asarray(meta["y"]))
         self._pending: List[np.ndarray] = []
         self._pending_times: List[float] = []
-        self._cache_index: Optional[int] = None
-        self._cache_data: Optional[np.ndarray] = None
+        self._cache_index: Optional[int] = None  #: guarded-by: _cache_lock
+        self._cache_data: Optional[np.ndarray] = None  #: guarded-by: _cache_lock
         # The chunk cache is read from texture-service worker threads
         # (TextureService.for_store); guard the check-then-set so a race
         # can never pair one chunk's index with another chunk's data.
@@ -84,8 +85,7 @@ class ChunkedFieldStore:
             "x": [float(v) for v in grid.x],
             "y": [float(v) for v in grid.y],
         }
-        with open(meta_path, "w", encoding="utf-8") as fh:
-            json.dump(meta, fh)
+        atomic_write(meta_path, lambda fh: fh.write(json.dumps(meta).encode("utf-8")))
         return cls(directory)
 
     # -- write path ----------------------------------------------------------------
@@ -119,8 +119,13 @@ class ChunkedFieldStore:
         chunk_index = first_frame // self.frames_per_chunk
         if first_frame % self.frames_per_chunk != 0:
             raise StoreError("internal error: pending frames not chunk-aligned")
-        np.savez_compressed(
-            self._chunk_path(chunk_index), frames=np.stack(self._pending, axis=0)
+        # Atomic: a crash mid-write must leave either no chunk file or a
+        # complete one — a truncated .npz would turn every later read of
+        # this chunk into a StoreError.
+        frames = np.stack(self._pending, axis=0)
+        atomic_write(
+            self._chunk_path(chunk_index),
+            lambda fh: np.savez_compressed(fh, frames=frames),
         )
         self._pending.clear()
         self._pending_times.clear()
@@ -138,10 +143,10 @@ class ChunkedFieldStore:
             "x": [float(v) for v in self.grid.x],
             "y": [float(v) for v in self.grid.y],
         }
-        tmp = os.path.join(self.directory, _META_NAME + ".tmp")
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(meta, fh)
-        os.replace(tmp, os.path.join(self.directory, _META_NAME))
+        atomic_write(
+            os.path.join(self.directory, _META_NAME),
+            lambda fh: fh.write(json.dumps(meta).encode("utf-8")),
+        )
 
     # -- read path -------------------------------------------------------------
     def __len__(self) -> int:

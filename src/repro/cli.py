@@ -20,7 +20,10 @@ writing any code:
   cost-model planner (host-calibrated), then run the default animation
   workload through the pickling process backend and the zero-copy
   shared-memory backend and report the frames/s speedup, with a
-  bit-identity check against the serial reference.
+  bit-identity check against the serial reference;
+* ``lint`` — run the repo-aware static-analysis gate
+  (:mod:`tools.analysis`): determinism, cache-key completeness, lock
+  discipline, resource lifecycle and atomic writes.
 
 Installed as ``repro-spotnoise`` (or run ``python -m repro.cli``).
 """
@@ -28,6 +31,7 @@ Installed as ``repro-spotnoise`` (or run ``python -m repro.cli``).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -406,6 +410,26 @@ def _cmd_plan_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(lint_args: Sequence[str]) -> int:
+    """Forward to the static-analysis gate (``python -m tools.analysis``).
+
+    The ``tools`` package lives at the repository root, which is not on
+    ``sys.path`` when ``repro`` is imported from ``src``; fall back to
+    the checkout layout (this file is ``src/repro/cli.py``).
+    """
+    try:
+        from tools.analysis.__main__ import main as lint_main
+    except ImportError:
+        root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        if not os.path.isdir(os.path.join(root, "tools", "analysis")):
+            print("repro-spotnoise lint: tools/analysis not found (not running "
+                  "from a source checkout?)", file=sys.stderr)
+            return 1
+        sys.path.insert(0, root)
+        from tools.analysis.__main__ import main as lint_main
+    return lint_main(list(lint_args))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-spotnoise",
@@ -530,10 +554,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--seed", type=int, default=0)
     p_plan.set_defaults(fn=_cmd_plan_bench)
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the repo's static-analysis gate (tools/analysis)",
+    )
+    p_lint.add_argument(
+        "lint_args", nargs=argparse.REMAINDER,
+        help="arguments forwarded to `python -m tools.analysis` "
+             "(paths, --rule, --format, --write-baseline, --list-rules, ...)",
+    )
+    p_lint.set_defaults(fn=lambda args: _cmd_lint(args.lint_args))
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # `lint` forwards its whole tail verbatim; route around argparse so
+    # option-like arguments (--rule, --format=json) reach the gate
+    # untouched instead of tripping REMAINDER's leading-dash quirks.
+    if argv and argv[0] == "lint":
+        return _cmd_lint(argv[1:])
     args = build_parser().parse_args(argv)
     return args.fn(args)
 

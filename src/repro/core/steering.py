@@ -10,8 +10,8 @@ experiments are replayable — the steering analogue of a lab notebook.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
 
 from repro.errors import SteeringError
 

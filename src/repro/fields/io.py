@@ -17,39 +17,48 @@ from repro.errors import FieldError
 from repro.fields.grid import RegularGrid, RectilinearGrid
 from repro.fields.vectorfield import VectorField2D
 from repro.fields.scalarfield import ScalarField2D
+from repro.utils.fileio import atomic_write
 
 _FORMAT_VERSION = 1
 
 
 def save_field(path: Union[str, os.PathLike], field: Union[VectorField2D, ScalarField2D]) -> None:
-    """Serialise a field (grid + data) to an ``.npz`` file."""
+    """Serialise a field (grid + data) to an ``.npz`` file.
+
+    The write is atomic (temp file + ``os.replace``): a crash mid-save
+    leaves any existing file untouched instead of a truncated archive.
+    """
     grid = field.grid
+    # np.savez appends ".npz" to bare path names but not to handles;
+    # resolve the final name up front so atomic_write replaces the same
+    # path numpy would have written.
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path += ".npz"
     meta = {
         "format_version": _FORMAT_VERSION,
         "kind": "vector" if isinstance(field, VectorField2D) else "scalar",
         "boundary": field.boundary,
     }
     if isinstance(grid, RegularGrid):
-        np.savez_compressed(
-            path,
+        payload = dict(
             data=field.data,
             grid_type="regular",
             nx=grid.nx,
             ny=grid.ny,
             bounds=np.asarray(grid.bounds),
-            **{k: np.asarray(v) for k, v in meta.items()},
         )
     elif isinstance(grid, RectilinearGrid):
-        np.savez_compressed(
-            path,
+        payload = dict(
             data=field.data,
             grid_type="rectilinear",
             x=grid.x,
             y=grid.y,
-            **{k: np.asarray(v) for k, v in meta.items()},
         )
     else:  # pragma: no cover - defensive
         raise FieldError(f"unsupported grid type {type(grid).__name__}")
+    payload.update({k: np.asarray(v) for k, v in meta.items()})
+    atomic_write(path, lambda fh: np.savez_compressed(fh, **payload))
 
 
 def load_field(path: Union[str, os.PathLike]) -> Union[VectorField2D, ScalarField2D]:

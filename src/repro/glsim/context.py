@@ -10,7 +10,7 @@ the pipe in order.  Only one context may be current on a pipe at a time
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.errors import GLStateError
 from repro.glsim.commands import Command

@@ -12,7 +12,7 @@ tradeoff (section 4) measurable in the ablation benches.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict
 
 from repro.errors import GLStateError
 

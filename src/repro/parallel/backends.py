@@ -107,8 +107,8 @@ class ThreadBackend(ExecutionBackend):
         if max_workers is not None and max_workers < 1:
             raise BackendError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
-        self._pool: "ThreadPoolExecutor | None" = None
-        self._pool_size = 0
+        self._pool: "ThreadPoolExecutor | None" = None  #: guarded-by: _pool_lock
+        self._pool_size = 0  #: guarded-by: _pool_lock
         self._pool_lock = threading.Lock()
 
     def _ensure_pool_locked(self, n: int) -> ThreadPoolExecutor:
@@ -154,8 +154,8 @@ class ProcessBackend(ExecutionBackend):
         if max_workers is not None and max_workers < 1:
             raise BackendError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
-        self._pool: "multiprocessing.pool.Pool | None" = None
-        self._pool_size = 0
+        self._pool: "multiprocessing.pool.Pool | None" = None  #: guarded-by: _pool_lock
+        self._pool_size = 0  #: guarded-by: _pool_lock
         self._pool_lock = threading.Lock()
 
     def _ensure_pool_locked(self, n: int) -> "multiprocessing.pool.Pool":

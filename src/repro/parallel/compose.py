@@ -17,7 +17,7 @@ two decomposition modes:
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -267,20 +267,20 @@ class SharedMemoryBackend(ExecutionBackend):
         except ValueError:  # pragma: no cover - non-POSIX platforms
             self._ctx = multiprocessing.get_context()
         self._pool_lock = threading.Lock()
-        self._workers: "List[multiprocessing.Process]" = []
-        self._task_q = None
-        self._result_q = None
-        self._segments: Dict[str, _Segment] = {
+        self._workers: "List[multiprocessing.Process]" = []  #: guarded-by: _pool_lock
+        self._task_q = None  #: guarded-by: _pool_lock
+        self._result_q = None  #: guarded-by: _pool_lock
+        self._segments: Dict[str, _Segment] = {  #: guarded-by: _pool_lock
             role: _Segment() for role in ("field", "particles", "indices", "out")
         }
-        self._frame_epoch = 0
-        self._field_epoch = 0
-        self._last_field: Optional[VectorField2D] = None
-        self._field_meta = b""
-        self._config_epoch = 0
-        self._last_config: Optional[SpotNoiseConfig] = None
-        self._config_blob = b""
-        self._closed = False
+        self._frame_epoch = 0  #: guarded-by: _pool_lock
+        self._field_epoch = 0  #: guarded-by: _pool_lock
+        self._last_field: Optional[VectorField2D] = None  #: guarded-by: _pool_lock
+        self._field_meta = b""  #: guarded-by: _pool_lock
+        self._config_epoch = 0  #: guarded-by: _pool_lock
+        self._last_config: Optional[SpotNoiseConfig] = None  #: guarded-by: _pool_lock
+        self._config_blob = b""  #: guarded-by: _pool_lock
+        self._closed = False  #: guarded-by: _pool_lock
 
     # -- pool management -------------------------------------------------------
     def _ensure_pool_locked(self, n_groups: int) -> None:

@@ -55,12 +55,12 @@ class LRUTextureCache:
         if byte_budget < 0:
             raise ServiceError(f"byte_budget must be >= 0, got {byte_budget}")
         self.byte_budget = int(byte_budget)
-        self._entries: "OrderedDict[str, np.ndarray]" = OrderedDict()
-        self._nbytes = 0
+        self._entries: "OrderedDict[str, np.ndarray]" = OrderedDict()  #: guarded-by: _lock
+        self._nbytes = 0  #: guarded-by: _lock
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self.hits = 0  #: guarded-by: _lock
+        self.misses = 0  #: guarded-by: _lock
+        self.evictions = 0  #: guarded-by: _lock
 
     def __len__(self) -> int:
         with self._lock:
@@ -121,8 +121,8 @@ class DiskBlobStore:
         self.directory = os.fspath(directory)
         os.makedirs(self.directory, exist_ok=True)
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
+        self.hits = 0  #: guarded-by: _lock
+        self.misses = 0  #: guarded-by: _lock
 
     def _path(self, digest: str) -> str:
         return os.path.join(self.directory, f"{digest}.npz")

@@ -87,7 +87,7 @@ class RequestKey:
 
     field_digest: str
     config_fingerprint: str
-    frame: int
+    frame: int  #: cache-key: exempt (observability only; the key is content-addressed)
     tile: Optional[TileSpec] = None
 
     @property
@@ -142,7 +142,7 @@ class SequenceKey:
 
     field_chain: str
     config_fingerprint: str
-    frame: int
+    frame: int  #: cache-key: exempt (the field chain already commits to the position)
     dt: float
     policy_token: str = "default"
 

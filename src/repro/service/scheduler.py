@@ -82,11 +82,11 @@ class RequestScheduler:
         if n_workers < 1:
             raise ServiceError(f"n_workers must be >= 1, got {n_workers}")
         self._queue: "queue.Queue[object]" = queue.Queue()
-        self._inflight: Dict[str, RenderTicket] = {}
+        self._inflight: Dict[str, RenderTicket] = {}  #: guarded-by: _lock
         self._lock = threading.Lock()
         self._admit = admit
-        self._closed = False
-        self._executing = 0
+        self._closed = False  #: guarded-by: _lock
+        self._executing = 0  #: guarded-by: _lock
         self.coalesced = 0
         self.dispatched = 0
         self._workers = [

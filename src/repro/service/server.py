@@ -93,6 +93,24 @@ class FrameRenderer:
         self.runtime.close()
 
 
+@dataclass(frozen=True)
+class _RenderBinding:
+    """One request's consistent snapshot of the re-plannable state.
+
+    ``config``, ``fingerprint`` and ``renderer`` are read together under
+    the re-plan lock, so a drift re-plan can never split a request across
+    two plans — the digest a texture is cached under always describes
+    the config that rendered it.  The binding holds one
+    ``active_renders`` reference on its renderer from creation; whoever
+    consumes the binding releases it (directly, or via the render
+    closure's epilogue).
+    """
+
+    config: SpotNoiseConfig
+    fingerprint: str
+    renderer: FrameRenderer
+
+
 class TextureService:
     """Request-coalescing, cache-backed texture server.
 
@@ -177,12 +195,12 @@ class TextureService:
         self.admission = admission
         self._grid_shape: Optional[Tuple[int, int]] = None
         self._planner: Optional[DecompositionPlanner] = None
-        self._plan: Optional[DecompositionPlan] = None
-        self._plan_scale = 1.0
+        self._plan: Optional[DecompositionPlan] = None  #: guarded-by: _replan_lock
+        self._plan_scale = 1.0  #: guarded-by: _replan_lock
         self._replan_drift = float(replan_drift)
         self._replan_lock = threading.Lock()
-        self._retired_renderers: "list[FrameRenderer]" = []
-        self.replans = 0
+        self._retired_renderers: "list[FrameRenderer]" = []  #: guarded-by: _replan_lock
+        self.replans = 0  #: guarded-by: _replan_lock
         if config.backend == "auto":
             self._planner = planner or DecompositionPlanner()
             field0 = field_source(0)
@@ -205,13 +223,13 @@ class TextureService:
                 self._plan_workload, scale=self._plan_scale, spatial_ok=spatial_ok
             )
             config = self._plan.apply(config)
-        self.config = config
+        self.config = config  #: guarded-by: _replan_lock
         disk = DiskTextureCache(disk_dir, preview_pgm=preview_pgm) if disk_dir else None
         self.cache = TieredTextureCache(LRUTextureCache(memory_budget_bytes), disk)
-        self.renderer = FrameRenderer(config)
+        self.renderer = FrameRenderer(config)  #: guarded-by: _replan_lock
         self.scheduler = RequestScheduler(n_workers=n_workers, admit=self._admit)
         self.stats.queue_depth_probe = self.scheduler.queue_depth
-        self._fingerprint = config.fingerprint()
+        self._fingerprint = config.fingerprint()  #: guarded-by: _replan_lock
         self._memoize_digests = memoize_digests
         self._digests: Dict[int, str] = {}
         self._digest_lock = threading.Lock()
@@ -232,7 +250,8 @@ class TextureService:
     @property
     def plan(self) -> Optional[DecompositionPlan]:
         """The resolved decomposition plan (``None`` without auto)."""
-        return self._plan
+        with self._replan_lock:
+            return self._plan
 
     def _maybe_replan(self) -> None:
         """Re-plan when the learned calibration has drifted enough.
@@ -277,9 +296,29 @@ class TextureService:
             old.close()
 
     # -- internals -------------------------------------------------------------
+    def _bind_render(self) -> _RenderBinding:
+        """Snapshot (config, fingerprint, renderer) consistently.
+
+        The triple must be read in one critical section: a request that
+        keyed its digest with one plan's fingerprint but rendered with
+        the next plan's renderer would cache the new plan's bytes under
+        the old plan's key.  Takes one ``active_renders`` reference; the
+        caller owns it until the binding is consumed.
+        """
+        with self._replan_lock:
+            renderer = self.renderer
+            renderer.active_renders += 1
+            return _RenderBinding(self.config, self._fingerprint, renderer)
+
+    def _current_config(self) -> SpotNoiseConfig:
+        with self._replan_lock:
+            return self.config
+
     def _admit(self, queue_depth: int) -> None:
         if self.admission is not None:
-            predicted = self.predictor.predict(self.config, grid_shape=self._grid_shape)
+            predicted = self.predictor.predict(
+                self._current_config(), grid_shape=self._grid_shape
+            )
             self.admission.admit(predicted, queue_depth)
 
     def _load_field(self, frame: int) -> VectorField2D:
@@ -288,14 +327,21 @@ class TextureService:
             self._grid_shape = tuple(field.grid.shape)
         return field
 
-    def _key_for(self, frame: int) -> "tuple[RequestKey, Optional[VectorField2D]]":
-        """Compute the request key, loading the field only when needed."""
+    def _key_for(
+        self, frame: int, fingerprint: str
+    ) -> "tuple[RequestKey, Optional[VectorField2D]]":
+        """Compute the request key, loading the field only when needed.
+
+        *fingerprint* comes from the caller's :class:`_RenderBinding`
+        snapshot, never from ``self`` — the key must describe the config
+        the bound renderer will actually run.
+        """
         if self._memoize_digests:
             with self._digest_lock:
                 digest = self._digests.get(frame)
             if digest is not None:
                 return (
-                    RequestKey(digest, self._fingerprint, frame),
+                    RequestKey(digest, fingerprint, frame),
                     None,
                 )
         field = self._load_field(frame)
@@ -303,7 +349,7 @@ class TextureService:
         if self._memoize_digests:
             with self._digest_lock:
                 self._digests[frame] = digest
-        return RequestKey(digest, self._fingerprint, frame), field
+        return RequestKey(digest, fingerprint, frame), field
 
     def invalidate_frame(self, frame: int) -> None:
         """Drop a memoised digest (a mutable source rewrote *frame*)."""
@@ -325,11 +371,15 @@ class TextureService:
         if self._closed:
             raise ServiceError("service is closed")
         if tile is not None:
-            tile.validate_for(self.config.texture_size)
+            # texture_size is plan-invariant, so the requested config
+            # answers without touching re-plannable state.
+            tile.validate_for(self.requested_config.texture_size)
         t0 = time.perf_counter()
         self.stats.record_request()
+        binding = self._bind_render()
+        owned = True
         try:
-            key, field = self._key_for(frame)
+            key, field = self._key_for(frame, binding.fingerprint)
             render_digest = key.digest  # full-frame digest (tile=None key)
             texture, tier = self.cache.get(render_digest)
             predicted: Optional[float] = None
@@ -337,10 +387,11 @@ class TextureService:
                 source = tier or "memory"
             else:
                 predicted = self.predictor.predict(
-                    self.config, grid_shape=self._grid_shape
+                    binding.config, grid_shape=self._grid_shape
                 )
+                owned = False  # _render_coalesced owns the ref from here
                 texture, source = self._render_coalesced(
-                    render_digest, frame, field, predicted, timeout
+                    render_digest, frame, field, predicted, timeout, binding
                 )
         except AdmissionError:
             self.stats.record_shed()
@@ -348,6 +399,9 @@ class TextureService:
         except Exception:
             self.stats.record_error()
             raise
+        finally:
+            if owned:
+                self._release_renderer_ref(binding.renderer)
         latency = time.perf_counter() - t0
         self.stats.record_response(source, latency)
         out = tile.crop(texture) if tile is not None else texture
@@ -365,17 +419,16 @@ class TextureService:
         frame: int,
         field: Optional[VectorField2D],
         predicted: Optional[float],
-    ) -> "tuple[Callable[[], np.ndarray], FrameRenderer]":
-        # Bind the renderer (and the config it was built from) now: a
-        # drift re-plan may swap self.renderer while this render waits
-        # in the queue, and the bytes cached under `render_digest` must
-        # come from the plan that digest was keyed with.  The refcount
-        # lets a re-plan close the superseded renderer the moment its
-        # last bound render finishes.
-        with self._replan_lock:
-            renderer = self.renderer
-            config = self.config
-            renderer.active_renders += 1
+        binding: _RenderBinding,
+    ) -> "Callable[[], np.ndarray]":
+        # The binding was snapshotted (with its active_renders ref) when
+        # the request was keyed: a drift re-plan may swap self.renderer
+        # while this render waits in the queue, and the bytes cached
+        # under `render_digest` must come from the plan that digest was
+        # keyed with.  The refcount lets a re-plan close the superseded
+        # renderer the moment its last bound render finishes.
+        renderer = binding.renderer
+        config = binding.config
 
         def do_render() -> np.ndarray:
             try:
@@ -391,7 +444,7 @@ class TextureService:
             self._maybe_replan()
             return texture
 
-        return do_render, renderer
+        return do_render
 
     def _release_renderer_ref(self, renderer: FrameRenderer) -> None:
         """Drop one in-flight reference; close a fully-drained retiree."""
@@ -412,15 +465,16 @@ class TextureService:
         field: Optional[VectorField2D],
         predicted: Optional[float],
         timeout: Optional[float],
+        binding: _RenderBinding,
     ) -> "tuple[np.ndarray, str]":
-        render, renderer = self._make_render(render_digest, frame, field, predicted)
+        render = self._make_render(render_digest, frame, field, predicted, binding)
         try:
             ticket, created = self.scheduler.submit(render_digest, render)
         except BaseException:
-            self._release_renderer_ref(renderer)  # closure never runs
+            self._release_renderer_ref(binding.renderer)  # closure never runs
             raise
         if not created:
-            self._release_renderer_ref(renderer)  # coalesced: closure dropped
+            self._release_renderer_ref(binding.renderer)  # coalesced: closure dropped
         texture = ticket.wait(timeout)
         return texture, ("render" if created else "coalesced")
 
@@ -430,19 +484,24 @@ class TextureService:
         cost nothing)."""
         scheduled = 0
         for frame in frames:
-            key, field = self._key_for(frame)
-            if self.cache.get(key.digest)[0] is not None:
-                continue
-            render, renderer = self._make_render(key.digest, frame, field, None)
+            binding = self._bind_render()
+            owned = True
             try:
-                _, created = self.scheduler.submit(key.digest, render)
-            except AdmissionError:
-                self._release_renderer_ref(renderer)
-                self.stats.record_shed()
-                continue
-            if not created:
-                self._release_renderer_ref(renderer)
-            scheduled += int(created)
+                key, field = self._key_for(frame, binding.fingerprint)
+                if self.cache.get(key.digest)[0] is not None:
+                    continue
+                render = self._make_render(key.digest, frame, field, None, binding)
+                try:
+                    _, created = self.scheduler.submit(key.digest, render)
+                except AdmissionError:
+                    self.stats.record_shed()
+                    continue
+                if created:
+                    owned = False  # the queued closure releases the ref
+                scheduled += int(created)
+            finally:
+                if owned:
+                    self._release_renderer_ref(binding.renderer)
         return scheduled
 
     # -- the sequence-streaming sibling ------------------------------------------
@@ -460,7 +519,9 @@ class TextureService:
         """
         from repro.anim.service import AnimationService
 
-        return AnimationService(self.field_source, self.config, dt=dt, **kwargs)
+        return AnimationService(
+            self.field_source, self._current_config(), dt=dt, **kwargs
+        )
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:
@@ -468,10 +529,13 @@ class TextureService:
             return
         self._closed = True
         self.scheduler.close()
-        self.renderer.close()
-        for renderer in self._retired_renderers:
-            renderer.close()
-        self._retired_renderers = []
+        with self._replan_lock:
+            renderer = self.renderer
+            retired = self._retired_renderers
+            self._retired_renderers = []
+        renderer.close()
+        for r in retired:
+            r.close()
 
     def __enter__(self) -> "TextureService":
         return self

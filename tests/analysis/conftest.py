@@ -1,0 +1,32 @@
+"""Shared harness for the static-analysis suite.
+
+The fixture tree under ``fixtures/`` mirrors the repo layout
+(``src/repro/...``) so that module names derived by the runner match
+the checkers' ``repro.*`` targeting patterns; ``analyse`` runs the pass
+rooted there with an empty baseline unless a test says otherwise.
+"""
+
+import os
+
+import pytest
+
+from tools.analysis.baseline import Baseline
+from tools.analysis.runner import run_analysis
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+FIXTURE_SRC = os.path.join(FIXTURES, "src", "repro")
+
+
+@pytest.fixture
+def analyse():
+    def run(relpath=None, rules=None, baseline=None, checkers=None):
+        paths = [os.path.join(FIXTURE_SRC, relpath)] if relpath else None
+        return run_analysis(
+            paths=paths,
+            rules=rules,
+            baseline=Baseline() if baseline is None else baseline,
+            root=FIXTURES,
+            checkers=checkers,
+        )
+
+    return run

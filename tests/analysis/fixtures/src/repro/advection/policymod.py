@@ -1,0 +1,15 @@
+"""Fixture: a policy dataclass serialised into a key token elsewhere.
+
+``repro.service.tokenmod.policy_token`` covers ``mode`` and
+``lifetime`` but not ``fade`` — the cross-file incompleteness a custom
+``FingerprintChecker(cross_refs=...)`` must catch.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FadePolicy:
+    mode: str
+    lifetime: float
+    fade: float

@@ -1,0 +1,7 @@
+"""Fixture: the global numpy RNG is legal off the critical path."""
+
+import numpy as np
+
+
+def scratch_noise(n):
+    return np.random.rand(n, n)

@@ -1,0 +1,9 @@
+"""Fixture: wall clocks are legal off the bit-exactness-critical path."""
+
+import time
+
+
+def measure(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

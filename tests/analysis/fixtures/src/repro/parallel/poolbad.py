@@ -1,0 +1,21 @@
+"""Fixture: a pool-discard handler that cannot catch KeyboardInterrupt.
+
+Re-seeds the shipped bug the pool-baseexception rule exists for: the
+discard path is only reachable for ``Exception``, so an interrupt
+mid-dispatch leaves a corrupted pool installed for every later frame.
+"""
+
+
+class FlakyPool:
+    def __init__(self):
+        self._pool = None
+
+    def run(self, work):
+        try:
+            return [w() for w in work]
+        except Exception:
+            self._discard_pool()
+            raise
+
+    def _discard_pool(self):
+        self._pool = None

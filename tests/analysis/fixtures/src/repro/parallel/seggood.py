@@ -1,0 +1,27 @@
+"""Fixture: owned resources with correct lifecycles — no findings.
+
+The segment's creator also unlinks it, the executor is a context
+manager, and the file handle lives inside ``with``.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing.shared_memory import SharedMemory
+
+
+class OwnedSegment:
+    def __init__(self, n):
+        self.segment = SharedMemory(create=True, size=n)
+
+    def close(self):
+        self.segment.close()
+        self.segment.unlink()
+
+
+def fan_out(work):
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(lambda w: w(), work))
+
+
+def read_back(path):
+    with open(path, encoding="utf-8") as fh:
+        return fh.read()

@@ -1,0 +1,19 @@
+"""Fixture: every resource-lifecycle leak in one class.
+
+A shared-memory segment created without an ``unlink()`` anywhere in the
+owning class, an executor that is never torn down, and a bare ``open()``
+whose handle leaks on any exception path.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing.shared_memory import SharedMemory
+
+
+class LeakyWorkers:
+    def __init__(self, n):
+        self.segment = SharedMemory(create=True, size=n)
+        self.executor = ThreadPoolExecutor(max_workers=2)
+
+    def dump(self, path):
+        fh = open(path, "w", encoding="utf-8")
+        fh.write("leak")

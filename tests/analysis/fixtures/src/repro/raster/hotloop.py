@@ -1,0 +1,27 @@
+"""Fixture: a determinism-critical module full of violations.
+
+Every statement here is a seeded bug for the determinism checker; the
+expected finding count and messages are asserted in
+tests/analysis/test_determinism.py.
+"""
+
+import random
+import time
+
+import numpy as np
+
+
+def timed_render(field):
+    start = time.perf_counter()
+    jitter = random.random()
+    noise = np.random.rand(4, 4)
+    return start, jitter, noise
+
+
+def order_leaks(cells):
+    out = []
+    for cell in {c * 2 for c in cells}:
+        out.append(cell)
+    materialised = list(set(cells))
+    doubled = [c + 1 for c in set(cells)]
+    return out, materialised, doubled

@@ -1,0 +1,13 @@
+"""Fixture: the blessed deterministic idioms — must produce no findings."""
+
+import random
+
+import numpy as np
+
+
+def seeded_noise(seed, cells):
+    rng = np.random.default_rng(seed)
+    shuffler = random.Random(seed)
+    values = rng.standard_normal(max(len(cells), 1))
+    order = sorted(set(cells))
+    return [values[i % len(values)] for i in range(len(order))], shuffler.random()

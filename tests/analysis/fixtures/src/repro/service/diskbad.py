@@ -1,0 +1,23 @@
+"""Fixture: durable artifacts written in place (non-atomically).
+
+Three direct-write shapes in a durable module: ``open(path, "w")``
+(a ``with`` closes the handle but does not make the write atomic), a
+numpy path writer, and pathlib's ``write_text``.
+"""
+
+import json
+
+import numpy as np
+
+
+def write_manifest(path, manifest):
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(manifest))
+
+
+def write_frames(path, frames):
+    np.savez_compressed(path, frames=frames)
+
+
+def write_marker(path):
+    path.write_text("done")

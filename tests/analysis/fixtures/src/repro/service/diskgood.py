@@ -1,0 +1,35 @@
+"""Fixture: durable artifacts landing atomically — no findings.
+
+The blessed ``atomic_write`` callback idiom (the writer receives an
+open *handle*, never a path) and the manual temp + ``os.replace`` form.
+"""
+
+import json
+import os
+import tempfile
+
+import numpy as np
+
+from repro.utils.fileio import atomic_write
+
+
+def write_manifest(path, manifest):
+    atomic_write(path, lambda fh: fh.write(json.dumps(manifest).encode("utf-8")))
+
+
+def write_frames(path, frames):
+    atomic_write(path, lambda fh: np.savez_compressed(fh, frames=frames))
+
+
+def write_marker_manually(path, payload):
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path) or ".")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

@@ -1,0 +1,36 @@
+"""Fixture: a fingerprinted dataclass missing a field from its key.
+
+``RequestPolicy.backend`` is render-relevant but never hashed — the
+silent-cache-poisoning shape the fingerprint checker exists to catch.
+``frame`` is deliberately outside the key and says so at the field.
+"""
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RequestPolicy:
+    n_spots: int
+    texture_size: int
+    backend: str
+    frame: int  #: cache-key: exempt (observability only, never keyed)
+
+    def fingerprint(self) -> str:
+        h = hashlib.sha256()
+        h.update(str(self.n_spots).encode("ascii"))
+        h.update(str(self.texture_size).encode("ascii"))
+        return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class CompleteByConstruction:
+    alpha: float
+    beta: float
+
+    def digest(self) -> str:
+        parts = [
+            f"{name}={getattr(self, name)!r}"
+            for name in sorted(self.__dataclass_fields__)
+        ]
+        return "|".join(parts)

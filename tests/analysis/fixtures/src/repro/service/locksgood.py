@@ -1,0 +1,33 @@
+"""Fixture: disciplined locking — must produce no findings.
+
+Every guarded access is under ``with self._lock``, the admission
+callback receives the queued backlog (len minus executing), and
+``finish_locked`` relies on the ``*_locked`` caller-holds-it convention.
+"""
+
+import threading
+
+
+class GoodScheduler:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._inflight = {}  #: guarded-by: _lock
+        self._executing = 0  #: guarded-by: _lock
+
+    def _admit(self, backlog):
+        return backlog < 4
+
+    def submit(self, key, job):
+        with self._lock:
+            backlog = len(self._inflight) - self._executing
+            if not self._admit(backlog):
+                return False
+            self._inflight[key] = job
+        return True
+
+    def finish_locked(self, key):
+        self._inflight.pop(key, None)
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._inflight)

@@ -1,0 +1,6 @@
+"""Fixture: a key-token function that misses one field of its source
+dataclass (see fixtures/src/repro/advection/policymod.py)."""
+
+
+def policy_token(policy):
+    return f"{policy.mode}:{policy.lifetime:.6g}"

@@ -1,0 +1,16 @@
+"""Fixture: deliberate violations silenced with inline suppressions.
+
+Both lines would be determinism findings in this critical module; the
+first is disabled by rule name, the second by ``disable=all``.  The
+runner must count them as *suppressed* (visible, not gate-failing).
+"""
+
+import time
+
+import numpy as np
+
+
+def profiled_splat(field):
+    start = time.perf_counter()  # lint: disable=determinism
+    scratch = np.random.rand(3)  # lint: disable=all
+    return start, scratch

@@ -1,0 +1,33 @@
+"""Determinism checker: clocks, global RNGs and set-order dependence."""
+
+
+class TestCriticalModules:
+    def test_every_seeded_violation_is_found(self, analyse):
+        report = analyse("raster/hotloop.py")
+        assert len(report.findings) == 6
+        assert {f.rule for f in report.findings} == {"determinism"}
+        messages = "\n".join(f.message for f in report.findings)
+        assert "wall-clock call time.perf_counter()" in messages
+        assert "global stdlib RNG random.random()" in messages
+        assert "global numpy RNG numpy.random.rand()" in messages
+        assert "for-loop over a set iterates in hash order" in messages
+        assert "list() over a set materialises hash order" in messages
+        assert "comprehension over a set iterates in hash order" in messages
+
+    def test_findings_carry_enclosing_symbol(self, analyse):
+        report = analyse("raster/hotloop.py")
+        wall = next(f for f in report.findings if "wall-clock" in f.message)
+        assert wall.symbol == "timed_render"
+
+    def test_seeded_generator_idioms_pass(self, analyse):
+        report = analyse("raster/seeded_ok.py")
+        assert report.findings == []
+        assert report.ok()
+
+
+class TestModuleTargeting:
+    def test_wall_clock_is_legal_off_the_critical_path(self, analyse):
+        assert analyse("machine/wallclock_ok.py").findings == []
+
+    def test_global_rng_is_legal_off_the_critical_path(self, analyse):
+        assert analyse("machine/scratch_ok.py").findings == []

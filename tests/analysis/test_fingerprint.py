@@ -1,0 +1,50 @@
+"""Fingerprint-completeness checker: per-file keys and cross-file tokens."""
+
+from tools.analysis.checkers.fingerprint import FingerprintChecker
+
+
+class TestPerFile:
+    def test_unconsumed_field_is_flagged(self, analyse):
+        report = analyse("service/keysbad.py")
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert finding.rule == "fingerprint-completeness"
+        assert "field 'backend' of RequestPolicy" in finding.message
+        assert "RequestPolicy.fingerprint()" in finding.message
+        assert finding.symbol == "RequestPolicy.fingerprint"
+
+    def test_exempt_marker_documents_the_omission(self, analyse):
+        report = analyse("service/keysbad.py")
+        assert not any("'frame'" in f.message for f in report.findings)
+
+    def test_dataclass_fields_iteration_is_complete_by_construction(self, analyse):
+        report = analyse("service/keysbad.py")
+        assert not any("CompleteByConstruction" in f.message for f in report.findings)
+
+
+class TestCrossFile:
+    CROSS_REFS = (
+        ("repro.service.tokenmod", "policy_token", "policy",
+         "repro.advection.policymod", "FadePolicy"),
+    )
+
+    def test_token_missing_a_field_is_flagged(self, analyse):
+        checker = FingerprintChecker(cross_refs=self.CROSS_REFS)
+        report = analyse(checkers=[checker])
+        token_findings = [f for f in report.findings if f.symbol == "policy_token"]
+        assert len(token_findings) == 1
+        assert "does not reference field 'fade'" in token_findings[0].message
+        assert "repro.advection.policymod.FadePolicy" in token_findings[0].message
+
+    def test_covered_fields_are_not_flagged(self, analyse):
+        checker = FingerprintChecker(cross_refs=self.CROSS_REFS)
+        report = analyse(checkers=[checker])
+        messages = [f.message for f in report.findings if f.symbol == "policy_token"]
+        assert not any("'mode'" in m or "'lifetime'" in m for m in messages)
+
+    def test_registered_refs_absent_from_corpus_are_skipped(self, analyse):
+        # The default registry's CROSS_REFS point at real repo modules
+        # that are not in the fixture corpus — the rule must skip them,
+        # not crash or emit phantom findings.
+        report = analyse()
+        assert not any(f.symbol == "policy_token" for f in report.findings)

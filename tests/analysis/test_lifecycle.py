@@ -1,0 +1,37 @@
+"""Resource-lifecycle checker: segments, executors, pools, handles."""
+
+
+class TestLeaks:
+    def test_every_leak_shape_is_found(self, analyse):
+        report = analyse("parallel/segleak.py")
+        assert {f.rule for f in report.findings} == {
+            "sharedmem-unlink", "executor-shutdown", "open-context"
+        }
+        assert len(report.findings) == 3
+
+    def test_messages_name_the_consequence(self, analyse):
+        report = analyse("parallel/segleak.py")
+        by_rule = {f.rule: f for f in report.findings}
+        assert "/dev/shm" in by_rule["sharedmem-unlink"].message
+        assert "workers cannot outlive the owner" in by_rule["executor-shutdown"].message
+        assert "handle leaks" in by_rule["open-context"].message
+
+    def test_owned_resources_pass(self, analyse):
+        report = analyse("parallel/seggood.py")
+        assert report.findings == []
+        assert report.ok()
+
+
+class TestPoolDiscard:
+    def test_discard_behind_except_exception_is_flagged(self, analyse):
+        report = analyse("parallel/poolbad.py")
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert finding.rule == "pool-baseexception"
+        assert finding.symbol == "FlakyPool.run"
+        assert "KeyboardInterrupt" in finding.message
+
+    def test_baseexception_discard_and_narrow_handlers_pass(self, analyse):
+        report = analyse("parallel/poolgood.py")
+        assert report.findings == []
+        assert report.ok()

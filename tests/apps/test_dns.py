@@ -1,5 +1,7 @@
 """Tests for the DNS application (repro.apps.dns)."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -235,6 +237,54 @@ class TestStore:
         store.append(VectorField2D(grid, rng.normal(size=(*grid.shape, 2))))
         store.flush()
         assert store.nbytes_on_disk() > 0
+
+    def test_failed_chunk_write_leaves_no_partial_file(self, tmp_path, monkeypatch):
+        # Regression: chunks were written with np.savez_compressed(path)
+        # which truncates in place — a crash mid-write left a corrupt
+        # chunk that failed every later read.  The atomic write must
+        # leave either no chunk file or a complete one, and the buffered
+        # frames must survive for a retry.
+        import repro.apps.dns.store as store_mod
+
+        grid = self._grid()
+        store = ChunkedFieldStore.create(tmp_path / "db", grid, frames_per_chunk=2)
+        store.append(self._field(grid, 0))
+
+        def exploding_savez(fh, **arrays):
+            fh.write(b"partial garbage")
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(store_mod.np, "savez_compressed", exploding_savez)
+        with pytest.raises(RuntimeError, match="disk full"):
+            store.append(self._field(grid, 1))  # fills the chunk -> write
+        monkeypatch.undo()
+        names = sorted(os.listdir(tmp_path / "db"))
+        assert names == ["meta.json"]  # no partial chunk, no temp litter
+        store.flush()  # the buffered frames were not lost
+        np.testing.assert_allclose(store.read(0).data, 0.0)
+        np.testing.assert_allclose(store.read(1).data, 1.0)
+
+    def test_failed_meta_write_preserves_previous_meta(self, tmp_path, monkeypatch):
+        # Regression: meta.json was rewritten with open("w"), truncating
+        # the only record of the store's contents before the new bytes
+        # landed.  A failed rewrite must leave the previous meta intact.
+        import repro.apps.dns.store as store_mod
+
+        grid = self._grid()
+        store = ChunkedFieldStore.create(tmp_path / "db", grid, frames_per_chunk=1)
+        store.append(self._field(grid, 7))
+        store.flush()
+
+        def exploding_dumps(obj, *a, **kw):
+            raise RuntimeError("serialiser died")
+
+        monkeypatch.setattr(store_mod.json, "dumps", exploding_dumps)
+        with pytest.raises(RuntimeError, match="serialiser died"):
+            store.append(self._field(grid, 8))
+        monkeypatch.undo()
+        reopened = ChunkedFieldStore(tmp_path / "db")
+        assert len(reopened) == 1
+        np.testing.assert_allclose(reopened.read(0).data, 7.0)
 
 
 class TestBrowser:

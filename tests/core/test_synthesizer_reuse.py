@@ -9,7 +9,6 @@ Mid-animation geometry changes must fail loudly instead of resetting the
 particle population behind the caller's back.
 """
 
-import numpy as np
 import pytest
 
 from repro.advection.lifecycle import LifeCyclePolicy

@@ -1,7 +1,6 @@
 """Tests for repro.fields.derived."""
 
 import numpy as np
-import pytest
 
 from repro.fields.analytic import constant_field, shear_field, vortex_field
 from repro.fields.derived import (

@@ -1,5 +1,7 @@
 """Tests for repro.fields.io and repro.fields.slices."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -46,6 +48,38 @@ class TestFieldIO:
         np.savez(path, whatever=np.zeros(3))
         with pytest.raises(FieldError):
             load_field(path)
+
+    def test_failed_save_leaves_existing_file_intact(self, tmp_path, monkeypatch):
+        # Regression: save_field used to hand the *path* to
+        # np.savez_compressed, which truncates in place — a crash
+        # mid-save destroyed the previous good file.  The atomic write
+        # must leave it untouched and clean up its temp file.
+        import repro.fields.io as io_mod
+
+        f = vortex_field(n=8)
+        path = tmp_path / "field.npz"
+        save_field(path, f)
+
+        def exploding_savez(fh, **arrays):
+            fh.write(b"partial garbage")
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(io_mod.np, "savez_compressed", exploding_savez)
+        with pytest.raises(RuntimeError, match="disk full"):
+            save_field(path, f)
+        monkeypatch.undo()
+        g = load_field(path)
+        np.testing.assert_array_equal(g.data, f.data)
+        assert os.listdir(tmp_path) == ["field.npz"]  # no temp litter
+
+    def test_bare_path_save_appends_npz(self, tmp_path):
+        # np.savez appends ".npz" to bare path names; the atomic-write
+        # rework must preserve that contract (handles get no suffix).
+        f = vortex_field(n=8)
+        save_field(tmp_path / "field", f)
+        assert not (tmp_path / "field").exists()
+        g = load_field(tmp_path / "field.npz")
+        np.testing.assert_array_equal(g.data, f.data)
 
     def test_newer_format_version_is_rejected(self, tmp_path):
         f = vortex_field(n=8)

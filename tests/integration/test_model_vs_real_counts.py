@@ -6,7 +6,6 @@ quads, bus bytes — otherwise the model is predicting a different
 algorithm than the one implemented.
 """
 
-import numpy as np
 import pytest
 
 from repro.advection.particles import ParticleSet

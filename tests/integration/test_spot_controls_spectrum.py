@@ -8,7 +8,6 @@ the roll-off to lower frequencies, and the DoG (filtered) spot removes
 the low band entirely.
 """
 
-import numpy as np
 
 from repro.advection.particles import ParticleSet
 from repro.core.config import SpotNoiseConfig

@@ -111,6 +111,64 @@ class TestTextureServiceAuto:
                 svc.config.backend, svc.config.n_groups, svc.config.partition
             )
 
+    def test_replan_mid_request_cannot_split_key_and_renderer(self, fields, monkeypatch):
+        # Regression: request() used to read the fingerprint for its key
+        # and bind the renderer in two separate steps; a drift re-plan
+        # landing between them cached the *new* plan's bytes under the
+        # *old* plan's key.  The request must key and render from one
+        # consistent snapshot: whatever config actually rendered is the
+        # config fingerprinted into the response key.
+        from repro.service.server import FrameRenderer
+
+        field0 = fields(0)
+        shape = tuple(field0.grid.shape)
+        requested = BENT_AUTO
+        raw = LatencyPredictor(alpha=1.0).predict(requested, field=field0)
+
+        class ReplanInWindow(LatencyPredictor):
+            """Fires a drift re-plan from inside the request path's
+            predict call — exactly the window between keying a request
+            and handing it to the renderer."""
+
+            service = None
+            armed = False
+
+            def predict(self, config, **kwargs):
+                if self.armed:
+                    self.armed = False
+                    self.observe(requested, actual_s=raw * 1e3, grid_shape=shape)
+                    self.service._maybe_replan()
+                return super().predict(config, **kwargs)
+
+        predictor = ReplanInWindow(alpha=1.0)
+        # Pre-calibrate a very fast host: the plan resolves to serial.
+        predictor.observe(requested, actual_s=raw * 1e-3, grid_shape=shape)
+
+        rendered_fingerprints = []
+        real_render = FrameRenderer.render
+
+        def recording_render(self, field):
+            rendered_fingerprints.append(self.config.fingerprint())
+            return real_render(self, field)
+
+        monkeypatch.setattr(FrameRenderer, "render", recording_render)
+        svc = TextureService(
+            fields,
+            requested,
+            predictor=predictor,
+            planner=DecompositionPlanner(host_workers=8),
+        )
+        predictor.service = svc
+        try:
+            assert svc.config.backend == "serial"
+            predictor.armed = True
+            response = svc.request(0)
+            assert svc.replans == 1  # the re-plan really fired in the window
+            assert response.source == "render"
+            assert rendered_fingerprints == [response.key.config_fingerprint]
+        finally:
+            svc.close()
+
     def test_concrete_backend_skips_planning(self, fields):
         cfg = AUTO.with_overrides(backend="serial")
         with TextureService(fields, cfg) as svc:

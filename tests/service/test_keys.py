@@ -8,7 +8,7 @@ from repro.errors import ServiceError
 from repro.fields.analytic import vortex_field
 from repro.fields.io import field_digest
 from repro.fields.vectorfield import VectorField2D
-from repro.service.keys import RequestKey, TileSpec, request_key
+from repro.service.keys import TileSpec, request_key
 
 
 class TestRequestKey:

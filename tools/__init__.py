@@ -1,0 +1,2 @@
+"""Repository tooling: docs gate (``check_docs``) and the repo-aware
+static-analysis pass (``tools.analysis``)."""

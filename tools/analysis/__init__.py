@@ -1,0 +1,39 @@
+"""Repo-aware static-analysis pass.
+
+Generic linters know nothing about this repository's actual correctness
+story: bit-identical rendering across execution backends, content-
+addressed cache keys that must cover every render-relevant config field,
+and lock/pool lifecycle discipline in the serving spine.  The last three
+PRs each shipped bugfixes that were *instances of those invariant
+classes* found by hand; this package makes the invariants machine
+checked so they are re-verified on every change instead of re-derived.
+
+Architecture
+------------
+
+* :mod:`tools.analysis.core` — :class:`Finding`, :class:`ParsedModule`,
+  the :class:`Checker` interface and inline-suppression parsing;
+* :mod:`tools.analysis.runner` — file walking, per-file visitor dispatch
+  and project-level (cross-file) checks over the parsed corpus;
+* :mod:`tools.analysis.baseline` — grandfathered findings (shipped empty
+  and intended to stay that way);
+* :mod:`tools.analysis.report` — human and JSON output;
+* :mod:`tools.analysis.checkers` — the repo-specific rules: determinism,
+  fingerprint-completeness, lock-discipline, resource-lifecycle and
+  atomic-write.
+
+Run as ``python -m tools.analysis`` (or ``repro.cli lint``); the CI
+``lint`` step fails on any non-baselined finding.
+"""
+
+from tools.analysis.core import Checker, Finding, ParsedModule, parse_module
+from tools.analysis.runner import AnalysisReport, run_analysis
+
+__all__ = [
+    "AnalysisReport",
+    "Checker",
+    "Finding",
+    "ParsedModule",
+    "parse_module",
+    "run_analysis",
+]

@@ -1,0 +1,99 @@
+"""Command-line entry point: ``python -m tools.analysis``.
+
+Exit status: 0 when the gate passes (no active findings, no parse
+errors), 1 when it fails.  Also reachable as ``repro.cli lint`` (see
+:mod:`repro.cli`), which forwards here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from tools.analysis import baseline as baseline_mod
+from tools.analysis.baseline import Baseline
+from tools.analysis.checkers import all_checkers
+from tools.analysis.report import FORMATS, render
+from tools.analysis.runner import run_analysis
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analysis",
+        description="Repo-aware static analysis: determinism, cache-key "
+                    "completeness, lock discipline, resource lifecycle and "
+                    "atomic writes (see docs/static_analysis.md)",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to scan (default: src/repro and tools)",
+    )
+    parser.add_argument(
+        "--rule", "-r", action="append", default=None, metavar="RULE",
+        help="restrict to this rule id or checker name (repeatable); a "
+             "checker name enables its whole rule family",
+    )
+    parser.add_argument(
+        "--format", "-f", choices=FORMATS, default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--baseline", default=baseline_mod.DEFAULT_PATH, metavar="PATH",
+        help="baseline file of grandfathered findings",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file (report grandfathered findings as "
+             "active)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current active findings to the baseline file and "
+             "exit 0 (grandfather them)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list every checker and rule id, then exit",
+    )
+    parser.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="repository root override (module names are derived relative "
+             "to it; tests point this at fixture trees)",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for checker in all_checkers():
+        lines.append(f"{checker.name}: {checker.description}")
+        for rule in checker.rules:
+            if rule != checker.name:
+                lines.append(f"  - {rule}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    baseline = Baseline() if args.no_baseline else Baseline.load(args.baseline)
+    report = run_analysis(
+        paths=args.paths or None,
+        rules=args.rule,
+        baseline=baseline,
+        root=args.root,
+    )
+    if args.write_baseline:
+        count = Baseline.write(args.baseline, report.findings)
+        print(f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} "
+              f"to {args.baseline}")
+        return 0
+    print(render(report, args.format))
+    return 0 if report.ok() else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Grandfathered findings.
+
+A baseline lets the gate land strict rules on a codebase with known
+pre-existing violations: baselined findings are reported (and counted)
+but do not fail the run.  This repo ships an **empty** baseline — every
+violation the pass surfaced was fixed instead — and the file exists so
+the mechanism is exercised and future rules have a migration path.
+
+Entries are matched by :meth:`Finding.key` (rule, path, enclosing
+symbol, message) rather than line numbers, so unrelated edits above a
+grandfathered finding do not un-baseline it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Set, Tuple
+
+from tools.analysis.core import Finding
+
+_FORMAT_VERSION = 1
+
+#: Default baseline location, next to this module.
+DEFAULT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "baseline.json")
+
+
+class Baseline:
+    """A set of grandfathered finding identities."""
+
+    def __init__(self, entries: Iterable[Tuple[str, str, str, str]] = ()):
+        self._entries: Set[Tuple[str, str, str, str]] = set(entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def matches(self, finding: Finding) -> bool:
+        return finding.key() in self._entries
+
+    @classmethod
+    def load(cls, path: str = DEFAULT_PATH) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        if not os.path.exists(path):
+            return cls()
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        version = payload.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported baseline format {version!r} in {path}")
+        entries = [
+            (e["rule"], e["path"], e.get("symbol", ""), e["message"])
+            for e in payload.get("entries", [])
+        ]
+        return cls(entries)
+
+    @staticmethod
+    def write(path: str, findings: Iterable[Finding]) -> int:
+        """Write *findings* as the new baseline; returns the entry count.
+
+        The write is atomic when :mod:`repro.utils.fileio` is importable
+        (it is whenever the pass runs with ``src`` on the path); plain
+        otherwise — the baseline is a dev artifact, not a served one.
+        """
+        entries: List[Dict[str, str]] = []
+        seen = set()
+        for f in sorted(findings, key=lambda f: f.key()):
+            if f.key() in seen:
+                continue
+            seen.add(f.key())
+            entries.append(
+                {"rule": f.rule, "path": f.path, "symbol": f.symbol, "message": f.message}
+            )
+        payload = json.dumps(
+            {"format_version": _FORMAT_VERSION, "entries": entries}, indent=2
+        ) + "\n"
+        try:
+            from repro.utils.fileio import atomic_write_bytes
+
+            atomic_write_bytes(path, payload.encode("utf-8"))
+        except ImportError:  # pragma: no cover - src not on sys.path
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+        return len(entries)

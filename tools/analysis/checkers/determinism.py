@@ -1,0 +1,216 @@
+"""Determinism lint for bit-exactness-critical modules.
+
+The backend-equivalence zoo proves that every execution backend renders
+bit-identical textures, and the serving/animation caches depend on
+renders being pure functions of ``(config, field)``.  Both properties
+die silently the moment a module on the critical path consults a wall
+clock, a global RNG, OS entropy, or iterates a ``set`` into an
+order-sensitive sink (set order varies with hash seeding across
+processes — exactly the cross-process divergence the equivalence zoo
+exists to rule out).
+
+Flagged in modules matching :data:`CRITICAL_MODULES`:
+
+* any ``time.*`` call (including names imported from :mod:`time`);
+* wall-clock :mod:`datetime` constructors (``now``, ``utcnow``,
+  ``today``);
+* the global numpy RNG (``numpy.random.<fn>``) and the global stdlib
+  RNG (``random.<fn>``) — seeded generator *construction*
+  (``default_rng``, ``Generator``, ``RandomState``, ``Random``…) stays
+  legal, module-level sampling does not;
+* OS entropy: ``os.urandom``, ``uuid.uuid1``/``uuid4``, ``secrets.*``;
+* iterating a set (literal, comprehension, ``set()``/``frozenset()``
+  call) in a ``for`` loop, comprehension, or ``list``/``tuple``/
+  ``enumerate`` conversion.  ``sorted(...)`` is the deterministic way
+  to consume one.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from typing import Dict, Iterable, List, Sequence
+
+from tools.analysis.core import Checker, Finding, ParsedModule, enclosing_symbol
+
+#: Modules whose output must be bit-identical across backends, hosts and
+#: replays (the de Leeuw '97 equivalence zoo plus the incremental
+#: animator's replay identity).
+CRITICAL_MODULES = (
+    "repro.anim.incremental",
+    "repro.raster.*",
+    "repro.advection.*",
+    "repro.spots.*",
+    "repro.parallel.sharedmem",
+)
+
+#: Seeded-generator constructors: building an RNG from an explicit seed
+#: is how deterministic code is *supposed* to get randomness.
+_NUMPY_RANDOM_ALLOWED = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "RandomState",
+     "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64", "BitGenerator"}
+)
+_STDLIB_RANDOM_ALLOWED = frozenset({"Random"})
+
+_DATETIME_WALLCLOCK = frozenset({"now", "utcnow", "today"})
+
+
+class _ImportTable:
+    """Map local names to the canonical modules they were imported from."""
+
+    def __init__(self, tree: ast.Module):
+        self.modules: Dict[str, str] = {}   # local alias -> module path
+        self.names: Dict[str, str] = {}     # local name -> module.attr
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.modules[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    self.names[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+class DeterminismChecker(Checker):
+    """No clocks, global RNGs or set-order dependence on the exact path."""
+
+    name = "determinism"
+    rules = ("determinism",)
+    description = (
+        "bit-exactness-critical modules may not consult wall clocks, "
+        "global RNGs, OS entropy, or set iteration order"
+    )
+
+    def __init__(self, critical_modules: Sequence[str] = CRITICAL_MODULES):
+        self.critical_modules = tuple(critical_modules)
+
+    def applies_to(self, module: str) -> bool:
+        return any(fnmatch.fnmatchcase(module, pat) for pat in self.critical_modules)
+
+    def check_module(self, mod: ParsedModule) -> Iterable[Finding]:
+        if not self.applies_to(mod.module):
+            return
+        imports = _ImportTable(mod.tree)
+        stack: List[ast.AST] = []
+
+        def finding(node: ast.AST, message: str) -> Finding:
+            return Finding(
+                rule="determinism",
+                path=mod.rel,
+                line=getattr(node, "lineno", 1),
+                message=message,
+                symbol=enclosing_symbol(stack),
+            )
+
+        findings: List[Finding] = []
+
+        def check_call(node: ast.Call) -> None:
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                base = func.value
+                # time.<anything>()
+                if isinstance(base, ast.Name) and imports.modules.get(base.id) == "time":
+                    findings.append(finding(
+                        node, f"wall-clock call time.{func.attr}() in a "
+                              f"bit-exactness-critical module"))
+                # os.urandom()
+                elif (isinstance(base, ast.Name)
+                      and imports.modules.get(base.id) == "os"
+                      and func.attr == "urandom"):
+                    findings.append(finding(node, "os.urandom() draws OS entropy"))
+                # uuid.uuid1/uuid4()
+                elif (isinstance(base, ast.Name)
+                      and imports.modules.get(base.id) == "uuid"
+                      and func.attr in ("uuid1", "uuid4")):
+                    findings.append(finding(
+                        node, f"uuid.{func.attr}() is nondeterministic"))
+                # secrets.<anything>()
+                elif (isinstance(base, ast.Name)
+                      and imports.modules.get(base.id) == "secrets"):
+                    findings.append(finding(
+                        node, f"secrets.{func.attr}() draws OS entropy"))
+                # random.<fn>() — stdlib global RNG
+                elif (isinstance(base, ast.Name)
+                      and imports.modules.get(base.id) == "random"
+                      and func.attr not in _STDLIB_RANDOM_ALLOWED):
+                    findings.append(finding(
+                        node, f"global stdlib RNG random.{func.attr}(); construct a "
+                              f"seeded random.Random instead"))
+                # numpy.random.<fn>() — global numpy RNG
+                elif (isinstance(base, ast.Attribute)
+                      and base.attr == "random"
+                      and isinstance(base.value, ast.Name)
+                      and imports.modules.get(base.value.id) == "numpy"
+                      and func.attr not in _NUMPY_RANDOM_ALLOWED):
+                    findings.append(finding(
+                        node, f"global numpy RNG numpy.random.{func.attr}(); use a "
+                              f"seeded numpy.random.default_rng(...) generator"))
+                # datetime.datetime.now() / datetime.now() / date.today()
+                elif func.attr in _DATETIME_WALLCLOCK:
+                    root = base
+                    while isinstance(root, ast.Attribute):
+                        root = root.value
+                    if isinstance(root, ast.Name):
+                        origin = imports.modules.get(root.id, "")
+                        from_name = imports.names.get(root.id, "")
+                        if origin == "datetime" or from_name.startswith("datetime."):
+                            findings.append(finding(
+                                node, f"wall-clock datetime call .{func.attr}()"))
+            elif isinstance(func, ast.Name):
+                origin = imports.names.get(func.id, "")
+                if origin.startswith("time."):
+                    findings.append(finding(
+                        node, f"wall-clock call {origin}() in a "
+                              f"bit-exactness-critical module"))
+                elif (origin.startswith("random.")
+                      and origin.split(".", 1)[1] not in _STDLIB_RANDOM_ALLOWED):
+                    findings.append(finding(
+                        node, f"global stdlib RNG {origin}(); construct a seeded "
+                              f"random.Random instead"))
+                elif (origin.startswith("numpy.random.")
+                      and origin.rsplit(".", 1)[1] not in _NUMPY_RANDOM_ALLOWED):
+                    findings.append(finding(
+                        node, f"global numpy RNG {origin}(); use a seeded "
+                              f"numpy.random.default_rng(...) generator"))
+                # list(set_expr) / tuple(set_expr) / enumerate(set_expr)
+                if func.id in ("list", "tuple", "enumerate") and node.args:
+                    if _is_set_expr(node.args[0]):
+                        findings.append(finding(
+                            node, f"{func.id}() over a set materialises hash order; "
+                                  f"sort it (sorted(...)) before it reaches an "
+                                  f"order-sensitive sink"))
+
+        def visit(node: ast.AST) -> None:
+            if isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+                stack.append(node)
+                for child in ast.iter_child_nodes(node):
+                    visit(child)
+                stack.pop()
+                return
+            if isinstance(node, ast.Call):
+                check_call(node)
+            elif isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(node.iter):
+                findings.append(finding(
+                    node, "for-loop over a set iterates in hash order; sort it "
+                          "(sorted(...)) to keep downstream results replayable"))
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp, ast.SetComp)):
+                for gen in node.generators:
+                    # A set comprehension *target* is fine (it produces a
+                    # set); iterating *over* a set inside any
+                    # comprehension is the order leak.
+                    if not isinstance(node, ast.SetComp) and _is_set_expr(gen.iter):
+                        findings.append(finding(
+                            node, "comprehension over a set iterates in hash order; "
+                                  "sort it (sorted(...)) first"))
+            for child in ast.iter_child_nodes(node):
+                visit(child)
+
+        visit(mod.tree)
+        yield from findings

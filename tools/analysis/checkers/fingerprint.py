@@ -1,0 +1,194 @@
+"""Fingerprint-completeness: cache keys must cover every keyed field.
+
+The serving stack is content-addressed end to end: a texture is cached
+under ``SpotNoiseConfig.fingerprint()`` + field digest, an animation
+frame under ``SequenceKey.digest``.  Adding a render-relevant field to a
+fingerprinted dataclass without extending its key method is silent cache
+poisoning — two configs that differ in the new field hash identically
+and serve each other's bytes.  This checker makes that a lint error.
+
+Two parts:
+
+* **per-file** — every dataclass that defines a key method
+  (:data:`KEY_METHODS`: ``fingerprint``, ``digest``, ``state_digest``)
+  must consume each of its fields inside *each* key method, either by an
+  explicit ``self.<field>`` reference or by iterating
+  ``self.__dataclass_fields__`` / ``dataclasses.fields(self)`` (complete
+  by construction).  A field that is deliberately not part of the key —
+  e.g. a frame index carried for observability only — is declared with a
+  trailing ``#: cache-key: exempt`` comment, which documents the design
+  decision at the field instead of hiding it in a suppression.
+
+* **cross-file** — functions that serialise *another* module's dataclass
+  into a key token (registered in :data:`CROSS_REFS`, e.g.
+  ``repro.service.keys.policy_token`` over
+  ``repro.advection.lifecycle.LifeCyclePolicy``) must reference every
+  field of that dataclass, so extending the policy without extending the
+  token is caught at lint time, not at cache-collision time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from tools.analysis.core import Checker, Finding, ParsedModule, dotted
+
+#: Method/property names treated as cache-key producers.
+KEY_METHODS = ("fingerprint", "digest", "state_digest")
+
+#: Trailing comment that declares a field deliberately outside the key.
+EXEMPT_MARKER = "#: cache-key: exempt"
+
+#: (function module, function name, parameter, dataclass module, class
+#: name) — the function must reference every field of the dataclass on
+#: its parameter.  Entries whose modules are absent from the analysed
+#: corpus are skipped, so fixture runs stay self-contained.
+CROSS_REFS = (
+    ("repro.service.keys", "policy_token", "policy",
+     "repro.advection.lifecycle", "LifeCyclePolicy"),
+)
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if dotted(target).split(".")[-1] == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_fields(node: ast.ClassDef, mod: ParsedModule) -> List[Tuple[str, int, bool]]:
+    """``(name, lineno, exempt)`` for each dataclass field of *node*."""
+    out = []
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            annotation = ast.dump(stmt.annotation)
+            if "ClassVar" in annotation:
+                continue
+            exempt = EXEMPT_MARKER in mod.line(stmt.lineno)
+            out.append((stmt.target.id, stmt.lineno, exempt))
+    return out
+
+
+def _self_attr_loads(func: ast.AST) -> Set[str]:
+    refs: Set[str] = set()
+    for node in ast.walk(func):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            refs.add(node.attr)
+    return refs
+
+
+def _iterates_all_fields(func: ast.AST) -> bool:
+    """True when the method walks ``__dataclass_fields__``/``fields(self)``."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute) and node.attr == "__dataclass_fields__":
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted(node.func)
+            if name.split(".")[-1] in ("fields", "astuple", "asdict") and any(
+                isinstance(a, ast.Name) and a.id == "self" for a in node.args
+            ):
+                return True
+    return False
+
+
+def _param_attr_loads(func: ast.AST, param: str) -> Set[str]:
+    refs: Set[str] = set()
+    for node in ast.walk(func):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == param):
+            refs.add(node.attr)
+    return refs
+
+
+class FingerprintChecker(Checker):
+    """Every field of a fingerprinted dataclass feeds its cache key."""
+
+    name = "fingerprint-completeness"
+    rules = ("fingerprint-completeness",)
+    description = (
+        "dataclasses with fingerprint()/digest methods must consume every "
+        "field (or declare `#: cache-key: exempt`); key-token functions "
+        "must cover their source dataclass"
+    )
+
+    def __init__(self, cross_refs: Sequence[Tuple[str, str, str, str, str]] = CROSS_REFS):
+        self.cross_refs = tuple(cross_refs)
+
+    def check_module(self, mod: ParsedModule) -> Iterable[Finding]:
+        for node in ast.walk(mod.tree):
+            if not (isinstance(node, ast.ClassDef) and _is_dataclass(node)):
+                continue
+            key_methods = [
+                stmt for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name in KEY_METHODS
+            ]
+            if not key_methods:
+                continue
+            fields = _dataclass_fields(node, mod)
+            for method in key_methods:
+                if _iterates_all_fields(method):
+                    continue
+                consumed = _self_attr_loads(method)
+                for field_name, lineno, exempt in fields:
+                    if exempt or field_name in consumed:
+                        continue
+                    yield Finding(
+                        rule="fingerprint-completeness",
+                        path=mod.rel,
+                        line=lineno,
+                        message=(
+                            f"field '{field_name}' of {node.name} is not consumed "
+                            f"by {node.name}.{method.name}(); a config differing "
+                            f"only in it would hash to the same cache entry — "
+                            f"extend the key or annotate the field "
+                            f"`{EXEMPT_MARKER} (<why>)`"
+                        ),
+                        symbol=f"{node.name}.{method.name}",
+                    )
+
+    def check_project(self, corpus: Dict[str, ParsedModule]) -> Iterable[Finding]:
+        for func_mod, func_name, param, dc_mod, dc_name in self.cross_refs:
+            fmod = corpus.get(func_mod)
+            dmod = corpus.get(dc_mod)
+            if fmod is None or dmod is None:
+                continue
+            func = self._find_function(fmod, func_name)
+            klass = self._find_class(dmod, dc_name)
+            if func is None or klass is None:
+                continue
+            fields = _dataclass_fields(klass, dmod)
+            referenced = _param_attr_loads(func, param)
+            for field_name, _lineno, exempt in fields:
+                if exempt or field_name in referenced:
+                    continue
+                yield Finding(
+                    rule="fingerprint-completeness",
+                    path=fmod.rel,
+                    line=func.lineno,
+                    message=(
+                        f"{func_name}() does not reference field '{field_name}' "
+                        f"of {dc_mod}.{dc_name}; sequence identities would not "
+                        f"change when it does — extend the token"
+                    ),
+                    symbol=func_name,
+                )
+
+    @staticmethod
+    def _find_function(mod: ParsedModule, name: str) -> Optional[ast.AST]:
+        for node in mod.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node.name == name:
+                return node
+        return None
+
+    @staticmethod
+    def _find_class(mod: ParsedModule, name: str) -> Optional[ast.ClassDef]:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.ClassDef) and node.name == name:
+                return node
+        return None

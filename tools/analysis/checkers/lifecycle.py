@@ -1,0 +1,243 @@
+"""Resource-lifecycle checker: segments unlink, pools survive interrupts.
+
+Four rules, each encoding a leak or corruption class this repo has
+actually shipped a fix for:
+
+* **sharedmem-unlink** — a class that creates a POSIX shared-memory
+  segment (``SharedMemory(create=True)``) must also call ``unlink()``
+  somewhere: the name outlives the process, so a missing unlink leaks
+  ``/dev/shm`` until reboot.  Attach-side ``SharedMemory(name=...)``
+  never unlinks and is not flagged.
+* **executor-shutdown** — a class (or function) that constructs a
+  ``ThreadPoolExecutor`` / ``ProcessPoolExecutor`` / ``Pool`` must
+  either use it as a context manager or contain a teardown call
+  (``shutdown``/``terminate``/``close``); otherwise worker threads and
+  processes outlive the owner.
+* **pool-baseexception** — an ``except`` handler that *discards* a pool
+  (calls ``terminate``/``_discard_pool*`` or nulls the pool attribute)
+  must be reachable for ``BaseException``: a ``KeyboardInterrupt``
+  mid-``map`` corrupts a process pool exactly as hard as a task failure,
+  and an ``except Exception`` discard path silently skips it, poisoning
+  every later frame.  Narrow handlers that do not discard anything
+  (``except (OSError, ValueError): pass``) are untouched.
+* **open-context** — ``open()`` outside a ``with`` statement: the
+  handle's lifetime is then implicit, and on any exception path the
+  file stays open until the GC gets around to it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Sequence, Set
+
+from tools.analysis.core import Checker, Finding, ParsedModule, dotted, enclosing_symbol
+
+_EXECUTOR_CTORS = frozenset({"ThreadPoolExecutor", "ProcessPoolExecutor", "Pool"})
+_TEARDOWN_ATTRS = frozenset({"shutdown", "terminate", "close"})
+
+
+def _is_create_true(call: ast.Call) -> bool:
+    return any(
+        kw.arg == "create"
+        and isinstance(kw.value, ast.Constant)
+        and kw.value.value is True
+        for kw in call.keywords
+    )
+
+
+def _handler_catches_baseexception(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:  # bare except
+        return True
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    return any(dotted(t).split(".")[-1] == "BaseException" for t in types)
+
+
+def _handler_discards_pool(handler: ast.ExceptHandler) -> bool:
+    """Does this handler tear down / null out a worker pool?"""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Call):
+            name = dotted(node.func)
+            leaf = name.split(".")[-1]
+            if leaf == "terminate" or "discard" in leaf:
+                return True
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (isinstance(target, ast.Attribute)
+                        and ("pool" in target.attr or "worker" in target.attr)
+                        and isinstance(node.value, (ast.Constant, ast.List))
+                        and (not isinstance(node.value, ast.Constant)
+                             or node.value.value is None)):
+                    return True
+    return False
+
+
+class ResourceLifecycleChecker(Checker):
+    """Segments unlink, executors shut down, discards survive interrupts."""
+
+    name = "resource-lifecycle"
+    rules = (
+        "sharedmem-unlink",
+        "executor-shutdown",
+        "pool-baseexception",
+        "open-context",
+    )
+    description = (
+        "SharedMemory(create=True) pairs with unlink(); executors are torn "
+        "down; pool-discard handlers catch BaseException; open() uses with"
+    )
+
+    def check_module(self, mod: ParsedModule) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        with_contexts = self._with_context_ids(mod.tree)
+        stack: List[ast.AST] = []
+
+        def visit(node: ast.AST) -> None:
+            if isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+                stack.append(node)
+                for child in ast.iter_child_nodes(node):
+                    visit(child)
+                stack.pop()
+                return
+            if isinstance(node, ast.Call):
+                self._check_sharedmem(mod, node, stack, findings)
+                self._check_executor(mod, node, stack, with_contexts, findings)
+                self._check_open(mod, node, stack, with_contexts, findings)
+            elif isinstance(node, ast.Try):
+                self._check_try(mod, node, stack, findings)
+            for child in ast.iter_child_nodes(node):
+                visit(child)
+
+        visit(mod.tree)
+        return findings
+
+    @staticmethod
+    def _with_context_ids(tree: ast.Module) -> Set[int]:
+        ids: Set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    ids.add(id(item.context_expr))
+        return ids
+
+    @staticmethod
+    def _enclosing_scope(stack: Sequence[ast.AST]) -> Optional[ast.AST]:
+        """Innermost class if any, else innermost function, else None."""
+        for node in reversed(stack):
+            if isinstance(node, ast.ClassDef):
+                return node
+        for node in reversed(stack):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return node
+        return None
+
+    # -- sharedmem-unlink ------------------------------------------------------
+    def _check_sharedmem(
+        self,
+        mod: ParsedModule,
+        call: ast.Call,
+        stack: Sequence[ast.AST],
+        findings: List[Finding],
+    ) -> None:
+        if dotted(call.func).split(".")[-1] != "SharedMemory" or not _is_create_true(call):
+            return
+        scope = self._enclosing_scope(stack) or mod.tree
+        for node in ast.walk(scope):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "unlink"):
+                return
+        findings.append(Finding(
+            rule="sharedmem-unlink",
+            path=mod.rel,
+            line=call.lineno,
+            message=(
+                "SharedMemory(create=True) without a matching unlink() in the "
+                "owning scope: the segment name outlives the process and leaks "
+                "/dev/shm until reboot"
+            ),
+            symbol=enclosing_symbol(stack),
+        ))
+
+    # -- executor-shutdown -----------------------------------------------------
+    def _check_executor(
+        self,
+        mod: ParsedModule,
+        call: ast.Call,
+        stack: Sequence[ast.AST],
+        with_contexts: Set[int],
+        findings: List[Finding],
+    ) -> None:
+        if dotted(call.func).split(".")[-1] not in _EXECUTOR_CTORS:
+            return
+        if id(call) in with_contexts:
+            return
+        scope = self._enclosing_scope(stack) or mod.tree
+        for node in ast.walk(scope):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _TEARDOWN_ATTRS):
+                return
+        findings.append(Finding(
+            rule="executor-shutdown",
+            path=mod.rel,
+            line=call.lineno,
+            message=(
+                f"{dotted(call.func).split('.')[-1]}(...) is never torn down in "
+                f"its owning scope: use `with` or call shutdown()/terminate()/"
+                f"close() so workers cannot outlive the owner"
+            ),
+            symbol=enclosing_symbol(stack),
+        ))
+
+    # -- pool-baseexception ----------------------------------------------------
+    def _check_try(
+        self,
+        mod: ParsedModule,
+        node: ast.Try,
+        stack: Sequence[ast.AST],
+        findings: List[Finding],
+    ) -> None:
+        if any(_handler_catches_baseexception(h) for h in node.handlers):
+            return
+        for handler in node.handlers:
+            if not _handler_discards_pool(handler):
+                continue
+            findings.append(Finding(
+                rule="pool-baseexception",
+                path=mod.rel,
+                line=handler.lineno,
+                message=(
+                    "this handler discards a worker pool but cannot catch "
+                    "BaseException: a KeyboardInterrupt mid-dispatch corrupts "
+                    "the pool exactly like a task failure and would skip the "
+                    "discard, poisoning every later frame — catch BaseException "
+                    "(and re-raise)"
+                ),
+                symbol=enclosing_symbol(stack),
+            ))
+
+    # -- open-context ----------------------------------------------------------
+    def _check_open(
+        self,
+        mod: ParsedModule,
+        call: ast.Call,
+        stack: Sequence[ast.AST],
+        with_contexts: Set[int],
+        findings: List[Finding],
+    ) -> None:
+        if not (isinstance(call.func, ast.Name) and call.func.id == "open"):
+            return
+        if id(call) in with_contexts:
+            return
+        findings.append(Finding(
+            rule="open-context",
+            path=mod.rel,
+            line=call.lineno,
+            message=(
+                "open() outside a `with` statement: the handle leaks on any "
+                "exception path until the GC closes it"
+            ),
+            symbol=enclosing_symbol(stack),
+        ))

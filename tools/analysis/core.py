@@ -1,0 +1,157 @@
+"""Analysis primitives: findings, parsed modules, checkers, suppressions.
+
+A :class:`ParsedModule` is one source file parsed exactly once (AST plus
+raw lines) and tagged with its dotted module name, so checkers can match
+on module identity (``repro.raster.*``) without re-deriving paths.  A
+:class:`Checker` contributes per-file findings via :meth:`check_module`
+and cross-file findings via :meth:`check_project`.
+
+Suppressions are inline trailing comments::
+
+    frobnicate()  # lint: disable=determinism
+
+and suppress any finding of the named rule(s) reported on that line.
+Suppressed findings are still counted (and visible in JSON output) so a
+creeping suppression habit shows up in review.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Finding severities, in increasing order of badness.  ``error``
+#: findings fail the gate; ``warning`` findings are reported but do not
+#: (no current rule emits warnings — the invariants here are the kind
+#: that are either held or broken).
+SEVERITIES = ("warning", "error")
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([\w\-,\s]+)")
+
+
+@dataclass
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str            # repo-relative path, stable across checkouts
+    line: int
+    message: str
+    severity: str = "error"
+    symbol: str = ""     # enclosing ``Class.method`` (baseline identity)
+
+    def key(self) -> Tuple[str, str, str, str]:
+        """Line-number-free identity used for baseline matching."""
+        return (self.rule, self.path, self.symbol, self.message)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "severity": self.severity,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+    def format(self) -> str:
+        where = f"{self.path}:{self.line}"
+        sym = f" [{self.symbol}]" if self.symbol else ""
+        return f"{where}: {self.severity}: {self.rule}: {self.message}{sym}"
+
+
+@dataclass
+class ParsedModule:
+    """One parsed source file plus the metadata checkers key on."""
+
+    path: str            # absolute path
+    rel: str             # path relative to the repo root
+    module: str          # dotted module name, e.g. ``repro.raster.clip``
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    def line(self, lineno: int) -> str:
+        """1-based source line (empty string when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def suppressed_rules(self, lineno: int) -> List[str]:
+        """Rules disabled by an inline comment on *lineno*."""
+        match = _SUPPRESS_RE.search(self.line(lineno))
+        if not match:
+            return []
+        return [r.strip() for r in match.group(1).split(",") if r.strip()]
+
+
+def module_name(path: str, root: str) -> str:
+    """Dotted module name of *path* relative to source *root*."""
+    rel = os.path.relpath(os.path.abspath(path), os.path.abspath(root))
+    rel = rel[:-3] if rel.endswith(".py") else rel
+    parts = rel.split(os.sep)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def parse_module(path: str, root: str, repo_root: Optional[str] = None) -> ParsedModule:
+    """Parse one file into a :class:`ParsedModule` (raises ``SyntaxError``)."""
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    rel_base = repo_root or root
+    return ParsedModule(
+        path=os.path.abspath(path),
+        rel=os.path.relpath(os.path.abspath(path), os.path.abspath(rel_base)),
+        module=module_name(path, root),
+        tree=ast.parse(source, filename=path),
+        lines=source.splitlines(),
+    )
+
+
+class Checker:
+    """Interface every rule implements.
+
+    ``rules`` lists every rule id the checker can emit (one checker may
+    own several related rules — e.g. the resource-lifecycle checker
+    emits ``sharedmem-unlink``, ``executor-shutdown``,
+    ``pool-baseexception`` and ``open-context``).  ``name`` is the
+    checker's primary id, used by ``--rule`` filtering to select the
+    whole family.
+    """
+
+    name: str = "abstract"
+    rules: Tuple[str, ...] = ()
+    description: str = ""
+
+    def check_module(self, mod: ParsedModule) -> Iterable[Finding]:
+        """Per-file findings (the common case)."""
+        return ()
+
+    def check_project(self, corpus: Dict[str, ParsedModule]) -> Iterable[Finding]:
+        """Cross-file findings over the whole parsed corpus."""
+        return ()
+
+
+def enclosing_symbol(stack: List[ast.AST]) -> str:
+    """``Class.method`` label from a visitor's node stack."""
+    names = [
+        node.name
+        for node in stack
+        if isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    return ".".join(names)
+
+
+def dotted(node: ast.AST) -> str:
+    """Best-effort dotted name of an expression (``a.b.c`` or ``""``)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""

@@ -1,0 +1,62 @@
+"""Rendering an :class:`~tools.analysis.runner.AnalysisReport`.
+
+Two formats: ``human`` (one ``path:line: severity: rule: message`` line
+per finding, grep- and editor-friendly) and ``json`` (stable structure
+for the CI gate and tooling).  Suppressed and baselined findings are
+shown in both — silencing a rule should stay visible in review, not
+vanish.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from tools.analysis.runner import AnalysisReport
+
+FORMATS = ("human", "json")
+
+
+def format_human(report: AnalysisReport) -> str:
+    lines: List[str] = []
+    for finding in report.findings:
+        lines.append(finding.format())
+    for finding in report.suppressed:
+        lines.append(f"{finding.format()} (suppressed inline)")
+    for finding in report.baselined:
+        lines.append(f"{finding.format()} (baselined)")
+    for error in report.parse_errors:
+        lines.append(f"parse error: {error}")
+    lines.append(
+        f"{report.files_scanned} files scanned: "
+        f"{len(report.findings)} finding(s), "
+        f"{len(report.suppressed)} suppressed, "
+        f"{len(report.baselined)} baselined"
+        + (f", {len(report.parse_errors)} parse error(s)"
+           if report.parse_errors else "")
+    )
+    return "\n".join(lines)
+
+
+def format_json(report: AnalysisReport) -> str:
+    payload = {
+        "ok": report.ok(),
+        "files_scanned": report.files_scanned,
+        "counts": {
+            "findings": len(report.findings),
+            "suppressed": len(report.suppressed),
+            "baselined": len(report.baselined),
+            "parse_errors": len(report.parse_errors),
+        },
+        "findings": [f.as_dict() for f in report.findings],
+        "suppressed": [f.as_dict() for f in report.suppressed],
+        "baselined": [f.as_dict() for f in report.baselined],
+        "parse_errors": report.parse_errors,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render(report: AnalysisReport, fmt: str = "human") -> str:
+    if fmt == "json":
+        return format_json(report)
+    return format_human(report)

@@ -1,0 +1,190 @@
+"""Corpus building and checker dispatch.
+
+:func:`run_analysis` walks the source roots once, parses every ``.py``
+file into a :class:`~tools.analysis.core.ParsedModule`, then dispatches
+the checker registry: per-file rules via ``check_module``, cross-file
+rules via ``check_project`` over the whole corpus.  Findings are then
+classified into *active* (fail the gate), *suppressed* (an inline
+``# lint: disable=<rule>`` on the finding's line) and *baselined*
+(grandfathered in the baseline file); all three are reported, only the
+first fails.
+
+Module names drive rule targeting (``repro.raster.*`` is a determinism-
+critical pattern), so files under ``src/`` are named relative to
+``src`` and everything else relative to the repo root — the same names
+imports use.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from tools.analysis.baseline import Baseline
+from tools.analysis.core import Checker, Finding, ParsedModule, parse_module
+
+#: Directory names never scanned.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+#: Rule name that an inline suppression may use to silence every rule on
+#: a line (``# lint: disable=all``) — intentionally loud in review.
+_ALL = "all"
+
+
+def repo_root() -> str:
+    """The repository root (this file lives at tools/analysis/runner.py)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.dirname(os.path.dirname(here))
+
+
+def default_paths(root: Optional[str] = None) -> List[str]:
+    """The gate's default scan set: the library and the tools themselves."""
+    root = root or repo_root()
+    paths = []
+    for rel in (os.path.join("src", "repro"), "tools"):
+        path = os.path.join(root, rel)
+        if os.path.isdir(path):
+            paths.append(path)
+    return paths
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced."""
+
+    findings: List[Finding] = field(default_factory=list)    # fail the gate
+    suppressed: List[Finding] = field(default_factory=list)  # inline-disabled
+    baselined: List[Finding] = field(default_factory=list)   # grandfathered
+    files_scanned: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    @property
+    def all_findings(self) -> List[Finding]:
+        return self.findings + self.suppressed + self.baselined
+
+
+def _source_root(path: str, root: str) -> str:
+    """The import root for *path*: ``src`` for library files, else repo root."""
+    src = os.path.join(root, "src")
+    if os.path.abspath(path).startswith(os.path.abspath(src) + os.sep):
+        return src
+    return root
+
+
+def _iter_py_files(path: str) -> Iterable[str]:
+    if os.path.isfile(path):
+        if path.endswith(".py"):
+            yield path
+        return
+    for dirpath, dirnames, filenames in os.walk(path):
+        dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+def build_corpus(
+    paths: Sequence[str], root: Optional[str] = None
+) -> "tuple[Dict[str, ParsedModule], List[str]]":
+    """Parse every ``.py`` under *paths*; returns ``(corpus, errors)``.
+
+    The corpus maps dotted module names to parsed modules; a file that
+    fails to parse is reported, never silently skipped — a syntax error
+    in a critical module must not read as "no findings".
+    """
+    root = root or repo_root()
+    corpus: Dict[str, ParsedModule] = {}
+    errors: List[str] = []
+    for path in paths:
+        for file_path in _iter_py_files(path):
+            try:
+                mod = parse_module(file_path, _source_root(file_path, root), root)
+            except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+                errors.append(f"{file_path}: {exc}")
+                continue
+            corpus[mod.module] = mod
+    return corpus, errors
+
+
+def _select_checkers(
+    checkers: Sequence[Checker], rules: Optional[Sequence[str]]
+) -> List[Checker]:
+    if not rules:
+        return list(checkers)
+    wanted = set(rules)
+    selected = []
+    for checker in checkers:
+        if checker.name in wanted or wanted & set(checker.rules):
+            selected.append(checker)
+    return selected
+
+
+def run_analysis(
+    paths: Optional[Sequence[str]] = None,
+    rules: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+    root: Optional[str] = None,
+    checkers: Optional[Sequence[Checker]] = None,
+) -> AnalysisReport:
+    """Run the full pass and classify its findings.
+
+    Parameters
+    ----------
+    paths:
+        Files/directories to scan (default: ``src/repro`` and ``tools``).
+    rules:
+        Restrict to these rule ids or checker names (``None`` = all).
+        Naming a checker (e.g. ``lock-discipline``) enables its whole
+        rule family.
+    baseline:
+        Grandfathered findings (``None`` loads the default baseline
+        file; pass ``Baseline()`` for none).
+    root:
+        Repository root override (tests point this at fixture trees).
+    checkers:
+        Checker registry override (default:
+        :func:`tools.analysis.checkers.all_checkers`).
+    """
+    from tools.analysis.checkers import all_checkers
+
+    root = root or repo_root()
+    paths = list(paths) if paths else default_paths(root)
+    if baseline is None:
+        baseline = Baseline.load()
+    selected = _select_checkers(
+        list(checkers) if checkers is not None else all_checkers(), rules
+    )
+    rule_filter = set(rules) if rules else None
+
+    corpus, errors = build_corpus(paths, root)
+    report = AnalysisReport(files_scanned=len(corpus), parse_errors=errors)
+
+    raw: List[Finding] = []
+    for checker in selected:
+        for mod in corpus.values():
+            raw.extend(checker.check_module(mod))
+        raw.extend(checker.check_project(corpus))
+        if rule_filter is not None:
+            # A checker selected by family name keeps all its rules;
+            # one selected by a specific rule id keeps only that rule.
+            if checker.name not in rule_filter:
+                raw = [
+                    f for f in raw
+                    if f.rule in rule_filter or f.rule not in checker.rules
+                ]
+
+    by_rel = {mod.rel: mod for mod in corpus.values()}
+    for finding in sorted(raw, key=lambda f: (f.path, f.line, f.rule, f.message)):
+        mod = by_rel.get(finding.path)
+        disabled = mod.suppressed_rules(finding.line) if mod is not None else []
+        if finding.rule in disabled or _ALL in disabled:
+            report.suppressed.append(finding)
+        elif baseline.matches(finding):
+            report.baselined.append(finding)
+        else:
+            report.findings.append(finding)
+    return report
