@@ -20,6 +20,9 @@ pipeline state instead and streams the results:
   every K frames, memory over disk;
 * :mod:`~repro.anim.scheduler` — single-flight streaming over frame
   ranges (overlapping scrubs join one in-flight render walk);
+* :mod:`~repro.anim.delta` — the delta frame transport: keyframes +
+  digest-addressed compressed diffs clients sync by digest, decoded
+  bit-identically on read (``python -m repro.cli delta-bench``);
 * :mod:`~repro.anim.service` — :class:`AnimationService`, the front end
   binding a field source + config to the whole stack, with an iterator
   streaming API.
@@ -30,6 +33,12 @@ loop (``SteeredSmogApplication.animation_service``) and the DNS browser
 """
 
 from repro.anim.checkpoints import CheckpointStore
+from repro.anim.delta import (
+    DeltaDecoder,
+    DeltaEncoder,
+    DeltaManifest,
+    DeltaTransport,
+)
 from repro.anim.incremental import IncrementalAnimator, one_shot_frame
 from repro.anim.scheduler import SequenceFlight, SequenceScheduler
 from repro.anim.sequence import FrameSequence
@@ -39,6 +48,10 @@ from repro.anim.state import PipelineState
 __all__ = [
     "AnimationService",
     "CheckpointStore",
+    "DeltaDecoder",
+    "DeltaEncoder",
+    "DeltaManifest",
+    "DeltaTransport",
     "FrameResponse",
     "FrameSequence",
     "IncrementalAnimator",

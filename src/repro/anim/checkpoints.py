@@ -40,10 +40,10 @@ class CheckpointStore:
             )
         self.max_memory_entries = int(max_memory_entries)
         self.disk = disk
-        self._entries: "OrderedDict[str, PipelineState]" = OrderedDict()
+        self._entries: "OrderedDict[str, PipelineState]" = OrderedDict()  #: guarded-by: _lock
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
+        self.hits = 0  #: guarded-by: _lock
+        self.misses = 0  #: guarded-by: _lock
 
     def __len__(self) -> int:
         with self._lock:
@@ -70,6 +70,17 @@ class CheckpointStore:
             if bundle is not None:
                 state = PipelineState.from_arrays(bundle)
                 with self._lock:
+                    # Promotion is an access: pop-then-insert so the
+                    # promoted entry lands at the hot end of the LRU
+                    # order.  Plain assignment would leave an entry that
+                    # raced its way in (another thread's promotion or
+                    # put) at its old position — the just-accessed
+                    # checkpoint would then be evicted before genuinely
+                    # colder ones.  Keep the raced-in object when there
+                    # is one: callers may already hold it.
+                    raced = self._entries.pop(digest, None)
+                    if raced is not None:
+                        state = raced
                     self._entries[digest] = state
                     while len(self._entries) > self.max_memory_entries:
                         self._entries.popitem(last=False)

@@ -97,6 +97,26 @@ class SequenceFlight:
                 self.error = error
             self.cond.notify_all()
 
+    def curtail(self) -> int:
+        """Stop the walk at its current position; returns the old target.
+
+        The registry's half of replacing a flight that can no longer
+        serve a request (the walk passed the requested start and evicted
+        it): the old walk stops claiming frames — its `next_frame` sees
+        ``position >= target`` and finishes — and the *replacement*
+        flight takes over the remainder of its range, so no frame is
+        claimed by two walks.  Frames already published stay in the
+        buffer for existing waiters.  Returns the target being given up
+        (the flight's position when already done) so the caller can
+        cover the union.
+        """
+        with self.cond:
+            if self.done:
+                return self.position
+            old_target, self.target = self.target, self.position
+            self.cond.notify_all()
+            return old_target
+
     # -- the client side ---------------------------------------------------------
     def try_join(self, start: int, stop: int) -> bool:
         """Join the flight for ``[start, stop)`` if it can still serve it.
@@ -155,11 +175,19 @@ class SequenceScheduler:
     scheduler:
         The worker pool executing flight jobs.  Owned by default; pass
         ``owns_scheduler=False`` to share a pool with a texture service.
+    buffer_limit:
+        Published-frame buffer size handed to every flight.
     """
 
-    def __init__(self, scheduler: Optional[RequestScheduler] = None, owns_scheduler: Optional[bool] = None):
+    def __init__(
+        self,
+        scheduler: Optional[RequestScheduler] = None,
+        owns_scheduler: Optional[bool] = None,
+        buffer_limit: int = DEFAULT_BUFFER_LIMIT,
+    ):
         self.scheduler = scheduler or RequestScheduler(n_workers=1, name="anim-service")
         self._owns_scheduler = (scheduler is None) if owns_scheduler is None else owns_scheduler
+        self.buffer_limit = int(buffer_limit)
         self._flights: Dict[str, SequenceFlight] = {}  #: guarded-by: _lock
         self._lock = threading.Lock()
         self._serial = 0  #: guarded-by: _lock
@@ -187,7 +215,17 @@ class SequenceScheduler:
             if flight is not None and flight.try_join(start, stop):
                 self.joined += 1
                 return flight, False
-            flight = SequenceFlight(sequence_id, start, stop)
+            if flight is not None:
+                # Curtail-and-union: the live flight cannot serve `start`
+                # (its walk passed it and evicted it), so it stops where
+                # it is and the replacement covers the union of both
+                # ranges.  Without this the old walk would keep claiming
+                # frames the new one also walks — re-rendering (or
+                # double-delivering) the shared boundary.
+                stop = max(stop, flight.curtail())
+            flight = SequenceFlight(
+                sequence_id, start, stop, buffer_limit=self.buffer_limit
+            )
             self._flights[sequence_id] = flight
             self.created += 1
             self._serial += 1

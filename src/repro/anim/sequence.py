@@ -142,12 +142,19 @@ class FrameSequence:
         self,
         cached_frames: Optional[Dict[int, str]] = None,
         checkpoints: Optional[List[int]] = None,
+        delta: Optional[dict] = None,
     ) -> dict:
-        """The sequence's persistent record as a JSON-able dict."""
+        """The sequence's persistent record as a JSON-able dict.
+
+        *delta*, when given, is an embedded
+        :meth:`~repro.anim.delta.DeltaManifest.to_dict` payload — the
+        frame table clients sync by digest instead of re-requesting
+        textures (absent when the service runs without delta transport).
+        """
         with self._lock:
             chains = list(self._chain)
         known = len(chains)
-        return {
+        record = {
             "kind": "repro.anim.sequence-manifest",
             "version": 1,
             "config_fingerprint": self._fingerprint,
@@ -159,6 +166,9 @@ class FrameSequence:
             "cached_frames": dict(sorted((cached_frames or {}).items())),
             "checkpoints": sorted(checkpoints or []),
         }
+        if delta is not None:
+            record["delta"] = delta
+        return record
 
     def write_manifest(self, directory: "str | os.PathLike", **kwargs) -> str:
         """Atomically write the manifest JSON next to a disk cache."""

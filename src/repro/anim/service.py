@@ -39,6 +39,7 @@ import numpy as np
 from repro.advection.advector import auto_dt
 from repro.advection.lifecycle import LifeCyclePolicy
 from repro.anim.checkpoints import CheckpointStore
+from repro.anim.delta import DeltaEncoder, DeltaTransport
 from repro.anim.incremental import FieldSource, IncrementalAnimator, one_shot_frame
 from repro.anim.scheduler import SequenceFlight, SequenceScheduler
 from repro.anim.sequence import FrameSequence
@@ -52,6 +53,7 @@ from repro.service.cache import (
     DiskBlobStore,
     DiskTextureCache,
     LRUTextureCache,
+    MemoryBlobStore,
     TieredTextureCache,
 )
 from repro.service.keys import SequenceKey
@@ -74,6 +76,7 @@ class _PlanContext:
     config: SpotNoiseConfig
     runtime: DivideAndConquerRuntime
     sequence_id: str
+    delta_encoder: Optional[DeltaEncoder] = None
 
 
 @dataclass(frozen=True)
@@ -124,6 +127,17 @@ class AnimationService:
         When > 0, every Nth frame rendered by a walk is re-rendered
         one-shot and compared bit-for-bit (expensive — a debugging and
         acceptance-testing knob, not a production default).
+    delta_every:
+        ``None`` disables the delta transport.  Any integer >= 0 enables
+        it: rendered frames are delta-encoded (keyframe every K frames +
+        XOR diffs, chunked/compressed/content-addressed) into a chunk
+        store — ``<disk_dir>/delta`` when a disk tier is configured, in
+        memory otherwise.  ``0`` prices K automatically with the cost
+        model.  Texture-cache misses then decode from the chunk store
+        (``source == "delta"``) before falling back to a render walk,
+        and the manifest embeds the delta frame table for digest-sync
+        clients.  Decoded frames are bit-identical to rendered ones — a
+        missing or corrupt chunk falls back to rendering transparently.
     planner / predictor:
         With ``config.backend == "auto"`` the decomposition is resolved
         by the planner at construction — a sequence's identity (and
@@ -150,6 +164,7 @@ class AnimationService:
         stats: Optional[ServiceStats] = None,
         planner: Optional[DecompositionPlanner] = None,
         predictor: Optional[LatencyPredictor] = None,
+        delta_every: Optional[int] = None,
     ):
         if checkpoint_every < 0:
             raise AnimationServiceError(
@@ -183,6 +198,16 @@ class AnimationService:
             )
             config = self._plan.apply(config)
         self._length = length
+        self.delta_transport: Optional[DeltaTransport] = None
+        if delta_every is not None:
+            delta_store = (
+                DiskBlobStore(os.path.join(disk_dir, "delta"))
+                if disk_dir
+                else MemoryBlobStore()
+            )
+            self.delta_transport = DeltaTransport(
+                delta_store, keyframe_every=int(delta_every)
+            )
         self._ctx = self._make_context(config)
         self._retired_runtimes: "List[DivideAndConquerRuntime]" = []
         self.checkpoint_every = int(checkpoint_every)
@@ -210,13 +235,21 @@ class AnimationService:
             self.field_source, config, self.dt, policy=self.policy,
             length=self._length,
         )
+        sequence_id = f"{config.fingerprint()}|{self.dt!r}|{sequence._policy_token}"
+        # A re-plan gets a fresh encoder (new sequence identity, new
+        # frame table) over the *same* chunk store, so byte-identical
+        # chunks keep deduping across plans.
+        encoder = (
+            self.delta_transport.encoder(sequence_id)
+            if self.delta_transport is not None
+            else None
+        )
         return _PlanContext(
             sequence=sequence,
             config=config,
             runtime=DivideAndConquerRuntime(config),
-            sequence_id=(
-                f"{config.fingerprint()}|{self.dt!r}|{sequence._policy_token}"
-            ),
+            sequence_id=sequence_id,
+            delta_encoder=encoder,
         )
 
     # The service's *current* plan context; walks and streams capture it
@@ -291,6 +324,10 @@ class AnimationService:
                     if texture is not None:
                         source = tier or "memory"
                         break
+                    texture = self._decode_delta(t, digest, ctx)
+                    if texture is not None:
+                        source = "delta"
+                        break
                     if flight is None or not flight.try_join(t, stop):
                         flight, created = self.scheduler.stream(
                             ctx.sequence_id, t, stop,
@@ -328,14 +365,21 @@ class AnimationService:
         """Kick off (or extend) a render walk without waiting.
 
         Returns ``True`` when a new walk was created, ``False`` when the
-        range joined an existing one or was already fully cached.
+        range joined an existing one or was already materialisable —
+        fully cached, or (with delta transport) delta-encoded: frames
+        with a delta table entry decode on read, so they need no walk.
+        (If a chunk turns out evicted by then, the read path's fallback
+        renders the frame anyway.)
         """
         if self._closed:
             raise ServiceError("animation service is closed")
         ctx = self._ctx
         ctx.sequence.check_frame(start)
         ctx.sequence.check_frame(stop - 1)
+        encoder = ctx.delta_encoder
         for t in range(start, stop):
+            if encoder is not None and encoder.has_frame(t):
+                continue
             if self.cache.get(ctx.sequence.frame_digest(t))[0] is None:
                 _, created = self.scheduler.stream(
                     ctx.sequence_id, t, stop,
@@ -372,6 +416,9 @@ class AnimationService:
                     # advection keeps the walk's state coherent, no splat.
                     animator.advance_to(t + 1)
                     self._bookkeep(t, digest, animator, ctx)
+                    # Encode before publish so a consumer that observed
+                    # the frame can rely on its delta entry existing.
+                    self._encode_delta(t, cached, digest, ctx)
                     flight.publish(t, cached)
                     continue
                 animator.advance_to(t)
@@ -387,6 +434,7 @@ class AnimationService:
                     animator.verify_frame(result)
                 self.cache.put(digest, result.display)
                 self._bookkeep(t, digest, animator, ctx)
+                self._encode_delta(t, result.display, digest, ctx)
                 flight.publish(t, result.display)
         except BaseException:
             # The animator may have mutated evolution state for a frame
@@ -396,6 +444,39 @@ class AnimationService:
             animator.close()
             raise
         self._release_animator(animator, ctx)
+
+    # -- the delta transport -----------------------------------------------------
+    def _encode_delta(
+        self, t: int, texture: np.ndarray, digest: str, ctx: _PlanContext
+    ) -> None:
+        """Feed a walk-produced frame into the plan's delta encoder."""
+        if ctx.delta_encoder is not None:
+            ctx.delta_encoder.add_frame(t, texture, digest)
+
+    def _decode_delta(
+        self, t: int, digest: str, ctx: _PlanContext
+    ) -> Optional[np.ndarray]:
+        """Materialise frame *t* from the delta chunk store, if possible.
+
+        The decode-on-read half of the transport: a texture-cache miss
+        whose frame was delta-encoded reconstructs from keyframe + diff
+        chain — bit-identical by construction — instead of joining a
+        render walk.  Returns ``None`` (transparent fallback to the
+        walk) when the frame has no entry or a chunk is missing/corrupt.
+        The decoded frame is put back into the texture cache so repeat
+        traffic hits the fast tier.
+        """
+        if ctx.delta_encoder is None:
+            return None
+        texture = ctx.delta_encoder.decode(t)
+        if texture is not None:
+            self.cache.put(digest, texture)
+        return texture
+
+    def delta_stats(self) -> Optional[dict]:
+        """Bytes-shipped accounting of the current plan's encoder."""
+        encoder = self._ctx.delta_encoder
+        return encoder.stats() if encoder is not None else None
 
     def _bookkeep(
         self, t: int, digest: str, animator: IncrementalAnimator, ctx: _PlanContext
@@ -527,22 +608,38 @@ class AnimationService:
         return True
 
     # -- observability -----------------------------------------------------------
+    def _delta_manifest_dict(self, ctx: _PlanContext) -> Optional[dict]:
+        if ctx.delta_encoder is None:
+            return None
+        delta = ctx.delta_encoder.manifest()
+        return delta.to_dict() if delta is not None else None
+
     def manifest(self) -> dict:
-        """The sequence manifest: identity, cached frames, checkpoints."""
+        """The sequence manifest: identity, cached frames, checkpoints,
+        and (with delta transport) the embedded delta frame table."""
+        ctx = self._ctx
         with self._book_lock:
             cached = dict(self._cached_frames)
             boundaries: List[int] = sorted(self._checkpoint_boundaries)
-        return self.sequence.manifest(cached_frames=cached, checkpoints=boundaries)
+        return ctx.sequence.manifest(
+            cached_frames=cached,
+            checkpoints=boundaries,
+            delta=self._delta_manifest_dict(ctx),
+        )
 
     def write_manifest(self) -> Optional[str]:
         """Persist the manifest next to the disk cache (no-op when memory-only)."""
         if not self._disk_dir:
             return None
+        ctx = self._ctx
         with self._book_lock:
             cached = dict(self._cached_frames)
             boundaries = sorted(self._checkpoint_boundaries)
-        return self.sequence.write_manifest(
-            self._disk_dir, cached_frames=cached, checkpoints=boundaries
+        return ctx.sequence.write_manifest(
+            self._disk_dir,
+            cached_frames=cached,
+            checkpoints=boundaries,
+            delta=self._delta_manifest_dict(ctx),
         )
 
     # -- lifecycle ---------------------------------------------------------------

@@ -113,7 +113,13 @@ class DataBrowser:
 
         return TextureService.for_store(self.store, config, **kwargs)
 
-    def animation_service(self, config, dt: Optional[float] = None, **kwargs):
+    def animation_service(
+        self,
+        config,
+        dt: Optional[float] = None,
+        delta_every: Optional[int] = 0,
+        **kwargs,
+    ):
         """An :class:`~repro.anim.service.AnimationService` over this store.
 
         Scrubbing the database as an *animation*: frames come from one
@@ -122,10 +128,20 @@ class DataBrowser:
         not independent stills).  Use :meth:`scrub` for the common
         drag-the-slider access pattern; concurrent overlapping scrubs
         coalesce onto a single incremental render walk.
+
+        The delta frame transport is on by default (*delta_every=0*,
+        cost-model-priced keyframe cadence): scrubbed frames are
+        delta-encoded into a digest-addressed chunk store, so revisited
+        frames decode from chunks already shipped instead of
+        re-requesting whole textures — the bandwidth layer for browsing
+        at scale.  Pass ``delta_every=None`` to disable, or an explicit
+        cadence K.
         """
         from repro.anim.service import AnimationService
 
-        return AnimationService.for_store(self.store, config, dt=dt, **kwargs)
+        return AnimationService.for_store(
+            self.store, config, dt=dt, delta_every=delta_every, **kwargs
+        )
 
     def scrub(self, service, start: int, stop: Optional[int] = None, stride: int = 1):
         """Play ``[start, stop)`` through an animation *service*.

@@ -16,6 +16,10 @@ writing any code:
   against the streaming subsystem (:mod:`repro.anim`) and report the
   frames/s win over the per-frame no-reuse path, plus a sampled
   bit-identity check of incremental vs one-shot frames;
+* ``delta-bench`` — replay the scrub trace through the delta frame
+  transport (:mod:`repro.anim.delta`) and report bytes shipped vs the
+  full-texture baseline, with a bit-identity check of every decoded
+  frame;
 * ``plan-bench`` — price the candidate decompositions with the
   cost-model planner (host-calibrated), then run the default animation
   workload through the pickling process backend and the zero-copy
@@ -331,6 +335,107 @@ def _cmd_anim_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_delta_bench(args: argparse.Namespace) -> int:
+    # Imports deferred: the streaming stack pulls in the whole pipeline.
+    import time
+    import zlib
+
+    import numpy as np
+
+    from repro.anim import AnimationService, one_shot_frame
+    from repro.anim.delta import DeltaDecoder, DeltaManifest
+    from repro.core.config import SpotNoiseConfig
+    from repro.fields.analytic import random_smooth_field
+    from repro.service import scrubbing_trace
+
+    config = SpotNoiseConfig(
+        n_spots=args.spots,
+        texture_size=args.size,
+        spot_mode="standard",
+        seed=args.seed,
+    )
+    field_cache = {}
+
+    def source(frame: int):
+        if frame not in field_cache:
+            field_cache[frame] = random_smooth_field(
+                seed=args.seed + 1000 + frame, n=args.grid
+            )
+        return field_cache[frame]
+
+    trace = scrubbing_trace(args.requests, args.frames, seed=args.seed)
+    distinct = sorted(set(trace))
+
+    print(f"delta-bench: scrub trace, {args.requests} requests over "
+          f"{args.frames} frames ({len(distinct)} distinct)")
+    print(f"config: {config.n_spots} spots, {config.texture_size}px; "
+          f"keyframe cadence {'auto (cost-model priced)' if args.delta_every == 0 else args.delta_every}")
+
+    textures = {}
+    with AnimationService(
+        source,
+        config,
+        length=args.frames,
+        checkpoint_every=args.checkpoint_every,
+        delta_every=args.delta_every,
+    ) as service:
+        t0 = time.perf_counter()
+        for t in trace:
+            response = service.request(t)
+            textures.setdefault(t, response.texture)
+        wall_s = time.perf_counter() - t0
+        stats = service.delta_stats()
+        manifest = DeltaManifest.from_dict(service.manifest()["delta"])
+        store = service.delta_transport.store
+        dt = service.dt
+
+    # What a digest-sync client pays: each unique chunk ships exactly
+    # once no matter how often the trace revisits a frame, plus the
+    # manifest it syncs against.
+    delta_bytes = stats["shipped_bytes"] + manifest.json_bytes()
+    # What the full-texture transport pays: the (compressed) texture
+    # bytes of the requested frame, shipped per request.
+    frame_bytes = {
+        t: len(zlib.compress(np.ascontiguousarray(tex, dtype=np.float64).tobytes(), 6))
+        for t, tex in textures.items()
+    }
+    baseline_bytes = sum(frame_bytes[t] for t in trace)
+    ratio = delta_bytes / baseline_bytes if baseline_bytes else float("inf")
+
+    # Bit-identity: a fresh decoder over the published manifest must
+    # reproduce every distinct frame byte-for-byte, and a sample is
+    # checked against full one-shot reference renders.
+    decoder = DeltaDecoder(store, manifest)
+    mismatches = 0
+    for t in distinct:
+        decoded = decoder.decode(t)
+        reference = np.ascontiguousarray(textures[t], dtype=np.float64)
+        if decoded is None or decoded.tobytes() != reference.tobytes():
+            mismatches += 1
+    for t in distinct[: args.verify_sample]:
+        reference = one_shot_frame(config, source, t, dt=dt).display
+        decoded = decoder.decode(t)
+        if decoded is None or not np.array_equal(decoded, reference):
+            mismatches += 1
+
+    print()
+    print(f"replayed {args.requests} requests in {wall_s * 1e3:.0f} ms; "
+          f"{stats['keys']} keyframes + {stats['deltas']} deltas encoded "
+          f"(cadence K={stats['keyframe_every']}, "
+          f"{stats['dedup_chunks']} chunks deduped)")
+    print(f"delta transport: {delta_bytes:>12,d} bytes shipped "
+          f"(unique chunks once + {manifest.json_bytes():,d} B manifest)")
+    print(f"full-texture:    {baseline_bytes:>12,d} bytes shipped "
+          f"(compressed texture per request)")
+    print(f"ratio: {ratio:.3f}x (budget {args.budget:.2f}x)")
+    print(f"decoded frames bit-identical: {'yes' if mismatches == 0 else 'NO'} "
+          f"({len(distinct)} decoded, {min(args.verify_sample, len(distinct))} "
+          f"verified against one-shot renders)")
+    if mismatches or ratio > args.budget:
+        return 1
+    return 0
+
+
 def _cmd_plan_bench(args: argparse.Namespace) -> int:
     # Imports deferred: planning + rendering pull in the whole pipeline.
     import time
@@ -532,6 +637,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="frames re-rendered one-shot for the bit-identity "
                              "check (0 disables)")
     p_anim.set_defaults(fn=_cmd_anim_bench)
+
+    p_delta = sub.add_parser(
+        "delta-bench",
+        help="replay the scrub trace through the delta frame transport and "
+             "report bytes shipped vs the full-texture baseline",
+    )
+    p_delta.add_argument("--requests", "-n", type=int, default=256)
+    p_delta.add_argument("--frames", type=int, default=64, help="sequence length")
+    p_delta.add_argument("--spots", type=int, default=800)
+    p_delta.add_argument("--size", type=int, default=128, help="texture size (px)")
+    p_delta.add_argument("--grid", type=int, default=48, help="analytic field grid n")
+    p_delta.add_argument("--checkpoint-every", type=int, default=8,
+                         help="pipeline-state checkpoint interval (frames)")
+    p_delta.add_argument("--delta-every", type=int, default=0,
+                         help="keyframe cadence K (0 = priced automatically "
+                              "by the cost model)")
+    p_delta.add_argument("--seed", type=int, default=0)
+    p_delta.add_argument("--budget", type=float, default=1 / 3,
+                         help="fail when delta bytes exceed this fraction of "
+                              "the full-texture baseline")
+    p_delta.add_argument("--verify-sample", type=int, default=3,
+                         help="decoded frames also compared against full "
+                              "one-shot reference renders")
+    p_delta.set_defaults(fn=_cmd_delta_bench)
 
     p_plan = sub.add_parser(
         "plan-bench",

@@ -75,6 +75,17 @@ class CostModel:
     worker_dispatch_s:
         Host-side per-group, per-frame overhead of handing work to a
         pooled worker (queue hop, wakeup).
+    net_bandwidth_Bps:
+        Client-facing link bytes/second — what the delta transport pays
+        to ship a keyframe or diff chunk to a scrubbing client or edge
+        cache.  A present-day magnitude, like the host constants above.
+    delta_decode_Bps:
+        Client bytes/second through the delta decode path (inflate +
+        XOR-apply); what a random seek pays per frame of diff chain it
+        must reconstruct.
+    chunk_request_s:
+        Per-chunk round-trip overhead of a digest-addressed fetch
+        (request dispatch, digest check, bookkeeping).
     """
 
     cpu_spot_s: float = 1.0e-6
@@ -92,12 +103,16 @@ class CostModel:
     ipc_bandwidth_Bps: float = 300.0e6
     shm_bandwidth_Bps: float = 4.0e9
     worker_dispatch_s: float = 2.0e-4
+    net_bandwidth_Bps: float = 100.0e6
+    delta_decode_Bps: float = 1.2e9
+    chunk_request_s: float = 2.0e-4
 
     def __post_init__(self) -> None:
         for name in self.__dataclass_fields__:
             if getattr(self, name) < 0:
                 raise MachineError(f"cost {name} must be >= 0")
-        for name in ("bus_bandwidth_Bps", "ipc_bandwidth_Bps", "shm_bandwidth_Bps"):
+        for name in ("bus_bandwidth_Bps", "ipc_bandwidth_Bps", "shm_bandwidth_Bps",
+                     "net_bandwidth_Bps", "delta_decode_Bps"):
             if getattr(self, name) <= 0:
                 raise MachineError(f"{name} must be positive")
 
@@ -134,3 +149,59 @@ class CostModel:
     def blend_time(self, n_pixels: int) -> float:
         """Sequential seconds to blend one partial texture of *n_pixels*."""
         return self.blend_setup_s + n_pixels * self.blend_pixel_s
+
+    # -- delta-transport pricing -----------------------------------------------
+    def delta_seek_time(
+        self,
+        frame_bytes: int,
+        key_bytes: int,
+        delta_bytes: int,
+        keyframe_every: int,
+    ) -> float:
+        """Expected client seconds per random-seek frame at cadence K.
+
+        Models the scrub-at-scale trade the keyframe cadence controls:
+        shipping amortises one keyframe plus ``K-1`` diffs over K frames
+        (so a larger K ships fewer keyframe bytes when diffs are thin),
+        while a random seek must decode from the nearest keyframe — on
+        average ``(K-1)/2`` diff applications on top of the keyframe.
+        *key_bytes* / *delta_bytes* are the stored (compressed) sizes;
+        *frame_bytes* is the raw texture the decode path walks per link
+        of the chain.
+        """
+        if keyframe_every < 1:
+            raise MachineError(
+                f"keyframe_every must be >= 1, got {keyframe_every}"
+            )
+        k = keyframe_every
+        shipped = (key_bytes + (k - 1) * delta_bytes) / k
+        chain = 1.0 + (k - 1) / 2.0
+        return (
+            shipped / self.net_bandwidth_Bps
+            + self.chunk_request_s
+            + chain * frame_bytes / self.delta_decode_Bps
+        )
+
+    def best_keyframe_cadence(
+        self,
+        frame_bytes: int,
+        key_bytes: int,
+        delta_bytes: int,
+        candidates: "tuple[int, ...]" = (1, 2, 4, 8, 16, 32, 64),
+    ) -> int:
+        """The cadence K minimising :meth:`delta_seek_time`.
+
+        Thin diffs (coherent frames) push K up — bandwidth saved
+        outweighs longer decode chains; diffs as fat as keyframes
+        (incoherent frames) push K to 1, all-keyframes, because chains
+        then cost decode time and save nothing.  Ties break toward the
+        earliest candidate, deterministically.
+        """
+        if not candidates:
+            raise MachineError("candidates must be non-empty")
+        return min(
+            candidates,
+            key=lambda k: self.delta_seek_time(
+                frame_bytes, key_bytes, delta_bytes, k
+            ),
+        )

@@ -21,7 +21,7 @@ import os
 import threading
 import zipfile
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -106,15 +106,23 @@ class LRUTextureCache:
 
 
 class DiskBlobStore:
-    """Content-addressed on-disk store of named-array bundles.
+    """Content-addressed on-disk store of named-array bundles and raw blobs.
 
-    Each entry is ``<digest>.npz`` holding a ``{name: array}`` bundle;
+    Each array entry is ``<digest>.npz`` holding a ``{name: array}``
+    bundle; raw-byte entries (:meth:`put_bytes`, used by the delta
+    transport for compressed frame chunks) are ``<digest>.blob``.  All
     writes go through a same-directory temp file and ``os.replace`` so
     readers never observe a partial entry.  A corrupt or truncated file
     (e.g. from a pre-atomic-write era or disk fault) is treated as a
     miss and removed.  :class:`DiskTextureCache` is the one-texture
-    specialisation; the animation layer's pipeline-state checkpoints
-    (:mod:`repro.anim`) use bundles directly.
+    specialisation; the animation layer's pipeline-state checkpoints and
+    delta chunks (:mod:`repro.anim`) use the store directly.
+
+    Eviction (:meth:`evict`, :meth:`trim_to_bytes`) is safe against
+    concurrent readers: removal is a single ``os.unlink``, so a reader
+    that already opened the entry keeps its complete inode (POSIX
+    semantics) and a reader arriving after sees a clean
+    ``FileNotFoundError`` miss — never a truncated read.
     """
 
     def __init__(self, directory: "str | os.PathLike"):
@@ -123,28 +131,49 @@ class DiskBlobStore:
         self._lock = threading.Lock()
         self.hits = 0  #: guarded-by: _lock
         self.misses = 0  #: guarded-by: _lock
+        self.evictions = 0  #: guarded-by: _lock
 
     def _path(self, digest: str) -> str:
         return os.path.join(self.directory, f"{digest}.npz")
 
-    def _drop_corrupt(self, path: str) -> None:
-        try:
-            os.unlink(path)
-        except OSError:
-            pass
+    def _blob_path(self, digest: str) -> str:
+        return os.path.join(self.directory, f"{digest}.blob")
+
+    def _drop_corrupt(self, path: str, expected_ino: Optional[int] = None) -> None:
+        """Remove a corrupt entry — but never a concurrently-replaced one.
+
+        A reader that decided *path* is corrupt races writers: a ``put``
+        may have atomically replaced the bad file with a good entry in
+        the meantime, and unlinking by name would destroy the new bytes.
+        When the reader knows the inode it actually read
+        (*expected_ino*), the drop is skipped unless the name still
+        refers to that same inode.
+        """
+        with self._lock:
+            try:
+                if expected_ino is not None and os.stat(path).st_ino != expected_ino:
+                    return  # a writer already replaced it with fresh bytes
+                os.unlink(path)
+            except OSError:
+                return
 
     def get(self, digest: str) -> "Optional[dict[str, np.ndarray]]":
         path = self._path(digest)
+        ino = None
         try:
-            with np.load(path, allow_pickle=False) as archive:
-                bundle = {name: np.asarray(archive[name]) for name in archive.files}
-        except FileNotFoundError:
-            with self._lock:
-                self.misses += 1
-            return None
+            with open(path, "rb") as fh:
+                # The inode actually read; an eviction or replacement
+                # racing this read retargets the *name*, never this
+                # open handle, and the corrupt-drop below is guarded by
+                # it so a concurrent put's fresh bytes survive.
+                ino = os.fstat(fh.fileno()).st_ino
+                with np.load(fh, allow_pickle=False) as archive:
+                    bundle = {name: np.asarray(archive[name]) for name in archive.files}
         except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
-            # Corrupt entry: drop it and report a miss.
-            self._drop_corrupt(path)
+            if ino is not None:
+                # We read the entry and found it corrupt: drop that
+                # inode (a failure *opening* is just a miss, not a drop).
+                self._drop_corrupt(path, expected_ino=ino)
             with self._lock:
                 self.misses += 1
             return None
@@ -160,8 +189,137 @@ class DiskBlobStore:
         )
         return True
 
+    # -- raw blobs (delta-transport chunks) --------------------------------------
+    def get_bytes(self, digest: str) -> Optional[bytes]:
+        """Return the raw payload stored under *digest*, or ``None``."""
+        try:
+            with open(self._blob_path(digest), "rb") as fh:
+                payload = fh.read()
+        except OSError:
+            with self._lock:
+                self.misses += 1
+            return None
+        with self._lock:
+            self.hits += 1
+        return payload
+
+    def put_bytes(self, digest: str, payload: bytes) -> bool:
+        atomic_write(self._blob_path(digest), lambda fh: fh.write(payload))
+        return True
+
+    def contains_bytes(self, digest: str) -> bool:
+        return os.path.exists(self._blob_path(digest))
+
+    # -- eviction ----------------------------------------------------------------
+    def evict(self, digest: str) -> bool:
+        """Remove *digest* (bundle or blob); ``True`` if anything was removed.
+
+        Concurrent readers of the evicted entry either finish their read
+        on the still-open inode or miss cleanly and refetch — the unlink
+        is atomic, nothing is ever truncated in place.
+        """
+        removed = False
+        for path in (self._path(digest), self._blob_path(digest)):
+            try:
+                os.unlink(path)
+                removed = True
+            except OSError:
+                pass
+        if removed:
+            with self._lock:
+                self.evictions += 1
+        return removed
+
+    def trim_to_bytes(self, byte_budget: int) -> int:
+        """Evict oldest entries until the store is under *byte_budget*.
+
+        Age is the filesystem mtime (content-addressed entries are never
+        rewritten in place, so mtime is creation time).  Returns the
+        number of entries removed.  Readers racing a trim see the same
+        clean miss-and-refetch contract as :meth:`evict`.
+        """
+        if byte_budget < 0:
+            raise ServiceError(f"byte_budget must be >= 0, got {byte_budget}")
+        entries = []
+        total = 0
+        for name in sorted(os.listdir(self.directory)):
+            if not name.endswith((".npz", ".blob")):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue  # concurrently evicted
+            entries.append((stat.st_mtime, name, path, stat.st_size))
+            total += stat.st_size
+        removed = 0
+        for _, _, path, size in sorted(entries):
+            if total <= byte_budget:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue  # a concurrent evictor got there first
+            total -= size
+            removed += 1
+        if removed:
+            with self._lock:
+                self.evictions += removed
+        return removed
+
     def __contains__(self, digest: str) -> bool:
         return os.path.exists(self._path(digest))
+
+
+class MemoryBlobStore:
+    """In-memory digest-addressed blob store (the no-disk delta tier).
+
+    The raw-bytes face of :class:`DiskBlobStore` for services configured
+    without a disk directory: delta-transport chunks live in a plain
+    dict so decode-on-read and the bytes-shipped accounting work the
+    same way whether or not a disk tier exists.  Thread-safe; eviction
+    follows the same miss-and-refetch contract.
+    """
+
+    def __init__(self):
+        self._entries: "Dict[str, bytes]" = {}  #: guarded-by: _lock
+        self._lock = threading.Lock()
+        self.hits = 0  #: guarded-by: _lock
+        self.misses = 0  #: guarded-by: _lock
+        self.evictions = 0  #: guarded-by: _lock
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get_bytes(self, digest: str) -> Optional[bytes]:
+        with self._lock:
+            payload = self._entries.get(digest)
+            if payload is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return payload
+
+    def put_bytes(self, digest: str, payload: bytes) -> bool:
+        with self._lock:
+            self._entries[digest] = bytes(payload)
+        return True
+
+    def contains_bytes(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._entries
+
+    def evict(self, digest: str) -> bool:
+        with self._lock:
+            if self._entries.pop(digest, None) is None:
+                return False
+            self.evictions += 1
+            return True
+
+    def nbytes(self) -> int:
+        with self._lock:
+            return sum(len(p) for p in self._entries.values())
 
 
 class DiskTextureCache(DiskBlobStore):

@@ -107,6 +107,18 @@ class RequestKey:
         return replace(self, tile=None)
 
 
+def chunk_digest(payload: bytes) -> str:
+    """Content address of one transport chunk (SHA-256 of its bytes).
+
+    The delta transport (:mod:`repro.anim.delta`) chunks frame payloads
+    and addresses every chunk by the digest of its *stored-form* bytes,
+    so identical chunks — all-zero diff regions, repeated keyframes,
+    shared prefixes across sequences — collapse to one blob, and a
+    client can verify a synced chunk before applying it.
+    """
+    return hashlib.sha256(payload).hexdigest()
+
+
 def chain_digest(previous: Optional[str], field_digest_hex: str) -> str:
     """Extend a sequence's rolling field digest by one frame.
 

@@ -77,6 +77,10 @@ class TestCoalescing:
             assert second is not flight
 
     def test_request_behind_walk_start_gets_new_flight(self):
+        # Curtail-and-union: the old flight stops claiming frames (its
+        # remaining range is handed to the replacement), and the new
+        # flight covers the union [1, 8) — so the behind request is
+        # served without two walks racing over the same frames.
         release = threading.Event()
         rendered = []
         with SequenceScheduler() as sched:
@@ -86,9 +90,49 @@ class TestCoalescing:
             )
             assert created
             assert behind is not flight
+            assert behind.target == 8  # union of [1, 3) and the curtailed [5, 8)
             release.set()
             assert behind.wait_frame(2, timeout=5.0) == "tex-2"
-            assert flight.wait_frame(7, timeout=5.0) == "tex-7"
+            assert behind.wait_frame(7, timeout=5.0) == "tex-7"
+
+    def test_overlapping_behind_request_never_double_renders(self):
+        # Regression: [8, 24) arriving while [0, 16) streams — with the
+        # walk already past 8 and frame 8 evicted from the buffer — used
+        # to leave the old walk rendering its remainder [10, 16) while
+        # the replacement walked [8, 24): the shared boundary frames
+        # were claimed by both walks and rendered (and delivered) twice.
+        # Now the old flight is curtailed at its position and the
+        # replacement covers the union, so every not-yet-claimed frame
+        # belongs to exactly one walk.  (Frames the old walk already
+        # published may be re-walked — those are cache hits at the
+        # service layer, never re-renders.)
+        gate = threading.Event()
+        rendered = []
+        flights = []
+
+        def runner(flight: SequenceFlight) -> None:
+            while True:
+                if flight is flights[0] and flight.position >= 10:
+                    gate.wait(5.0)  # stall the first walk *before* it claims 10
+                t = flight.next_frame()
+                if t is None:
+                    return
+                rendered.append(t)
+                flight.publish(t, f"tex-{t}")
+
+        with SequenceScheduler(buffer_limit=1) as sched:
+            first, _ = sched.stream("seq", 0, 16, runner)
+            flights.append(first)
+            assert first.wait_frame(9, timeout=5.0) == "tex-9"
+            second, created = sched.stream("seq", 8, 24, runner)
+            assert created and second is not first
+            assert second.target == 24  # union already covered by [8, 24)
+            gate.set()
+            assert second.wait_frame(23, timeout=5.0) == "tex-23"
+        # The curtailed walk claimed nothing past its position: every
+        # frame of the old remainder and the extension rendered once.
+        boundary = [t for t in rendered if t >= 10]
+        assert sorted(boundary) == list(range(10, 24))
 
 
 class TestDelivery:

@@ -124,3 +124,50 @@ class TestWorkstationConfig:
             WorkstationConfig(1, 0)
         with pytest.raises(MachineError):
             WorkstationConfig(1, 1, bus_bandwidth_Bps=0.0)
+
+
+class TestDeltaTransportPricing:
+    """Keyframe-cadence economics: thin diffs buy long cadences, fat
+    diffs price K down to all-keyframes (PR 7 delta transport)."""
+
+    def test_incoherent_frames_price_all_keyframes(self):
+        model = CostModel.onyx2()
+        frame = 128 * 128 * 8
+        # Diffs as large as keyframes: chains cost decode time and save
+        # no bandwidth, so K=1 must win.
+        assert model.best_keyframe_cadence(frame, 100_000, 100_000) == 1
+
+    def test_coherent_frames_price_long_cadence(self):
+        model = CostModel.onyx2()
+        frame = 128 * 128 * 8
+        k = model.best_keyframe_cadence(frame, 30_000, 500)
+        assert k > 1
+
+    def test_seek_time_monotone_in_chain_for_fat_diffs(self):
+        model = CostModel.onyx2()
+        frame = 64 * 64 * 8
+        times = [
+            model.delta_seek_time(frame, 50_000, 50_000, k) for k in (1, 4, 16)
+        ]
+        assert times == sorted(times)
+
+    def test_bandwidth_shifts_the_optimum(self):
+        # A slower link makes shipped bytes dearer: the priced cadence
+        # can only grow (more amortisation of the keyframe).
+        fast = CostModel.onyx2()
+        slow = fast.with_overrides(net_bandwidth_Bps=1.0e6)
+        frame = 128 * 128 * 8
+        assert slow.best_keyframe_cadence(frame, 30_000, 500) >= (
+            fast.best_keyframe_cadence(frame, 30_000, 500)
+        )
+
+    def test_validation(self):
+        model = CostModel.onyx2()
+        with pytest.raises(MachineError):
+            model.delta_seek_time(100, 100, 100, 0)
+        with pytest.raises(MachineError):
+            model.best_keyframe_cadence(100, 100, 100, candidates=())
+        with pytest.raises(MachineError):
+            CostModel(net_bandwidth_Bps=0.0)
+        with pytest.raises(MachineError):
+            CostModel(delta_decode_Bps=-1.0)

@@ -1,11 +1,19 @@
 """Tests for repro.service.cache — LRU budget, disk tier, promotion."""
 
 import os
+import threading
+import time
 
 import numpy as np
 import pytest
 
-from repro.service.cache import DiskTextureCache, LRUTextureCache, TieredTextureCache
+from repro.service.cache import (
+    DiskBlobStore,
+    DiskTextureCache,
+    LRUTextureCache,
+    MemoryBlobStore,
+    TieredTextureCache,
+)
 
 
 def tex(value: float, n: int = 8) -> np.ndarray:
@@ -118,3 +126,116 @@ class TestTieredTextureCache:
         tiered = TieredTextureCache(LRUTextureCache(ENTRY_BYTES), None)
         got, tier = tiered.get("zzz")
         assert got is None and tier is None
+
+
+class TestDiskBlobStoreEviction:
+    """Eviction vs concurrent readers: clean miss-and-refetch, never a
+    truncated read or stale-handle crash (PR 7 satellite fix)."""
+
+    def test_raw_blob_round_trip_and_evict(self, tmp_path):
+        store = DiskBlobStore(tmp_path)
+        store.put_bytes("d1", b"payload-one")
+        assert store.contains_bytes("d1")
+        assert store.get_bytes("d1") == b"payload-one"
+        assert store.evict("d1")
+        assert not store.contains_bytes("d1")
+        assert store.get_bytes("d1") is None
+        assert store.evictions == 1
+        assert not store.evict("d1")  # double-evict is a clean no-op
+
+    def test_evict_removes_bundles_too(self, tmp_path):
+        store = DiskBlobStore(tmp_path)
+        store.put("d1", {"x": np.arange(4.0)})
+        assert "d1" in store
+        assert store.evict("d1")
+        assert "d1" not in store and store.get("d1") is None
+
+    def test_eviction_racing_readers_is_clean(self, tmp_path):
+        # Hammer: writers re-put and evictors unlink while readers read.
+        # Every read must return either the complete payload or a clean
+        # None — any exception or partial payload fails the test.
+        store = DiskBlobStore(tmp_path)
+        payload_a = b"A" * 65536
+        bundle = {"texture": np.full((32, 32), 7.0)}
+        store.put_bytes("blob", payload_a)
+        store.put("arr", bundle)
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            while not stop.is_set():
+                raw = store.get_bytes("blob")
+                if raw is not None and raw != payload_a:
+                    failures.append(("partial-blob", len(raw)))
+                got = store.get("arr")
+                if got is not None and not np.array_equal(
+                    got["texture"], bundle["texture"]
+                ):
+                    failures.append(("partial-bundle",))
+
+        def churner():
+            while not stop.is_set():
+                store.evict("blob")
+                store.evict("arr")
+                store.put_bytes("blob", payload_a)
+                store.put("arr", bundle)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        threads += [threading.Thread(target=churner) for _ in range(2)]
+        for t in threads:
+            t.start()
+        time.sleep(0.5)
+        stop.set()
+        for t in threads:
+            t.join(10.0)
+        assert failures == []
+        # After the churn settles the entries are wholly readable again.
+        assert store.get_bytes("blob") == payload_a
+        np.testing.assert_array_equal(store.get("arr")["texture"], bundle["texture"])
+
+    def test_corrupt_entry_dropped_only_if_not_replaced(self, tmp_path):
+        # A reader that decided an entry is corrupt must not unlink the
+        # fresh bytes a concurrent put atomically replaced it with: the
+        # drop is guarded by the inode the reader actually read.
+        store = DiskBlobStore(tmp_path)
+        path = store._path("d1")
+        with open(path, "wb") as fh:
+            fh.write(b"not an npz")
+        corrupt_ino = os.stat(path).st_ino
+        # A writer replaces the corrupt file before the reader's drop.
+        store.put("d1", {"x": np.arange(3.0)})
+        store._drop_corrupt(path, expected_ino=corrupt_ino)
+        got = store.get("d1")  # the replacement survived the stale drop
+        assert got is not None
+        np.testing.assert_array_equal(got["x"], np.arange(3.0))
+        # Without a replacement the corrupt inode is dropped normally.
+        with open(path, "wb") as fh:
+            fh.write(b"garbage again")
+        store._drop_corrupt(path, expected_ino=os.stat(path).st_ino)
+        assert not os.path.exists(path)
+
+    def test_trim_to_bytes_evicts_oldest_first(self, tmp_path):
+        store = DiskBlobStore(tmp_path)
+        for i, name in enumerate(["old", "mid", "new"]):
+            store.put_bytes(name, bytes(1000))
+            # Deterministic ages regardless of filesystem timestamp
+            # granularity.
+            os.utime(store._blob_path(name), (1000.0 + i, 1000.0 + i))
+        removed = store.trim_to_bytes(2000)
+        assert removed == 1
+        assert not store.contains_bytes("old")
+        assert store.contains_bytes("mid") and store.contains_bytes("new")
+        assert store.trim_to_bytes(0) == 2
+
+
+class TestMemoryBlobStore:
+    def test_round_trip_and_evict(self):
+        store = MemoryBlobStore()
+        store.put_bytes("d", b"abc")
+        assert store.contains_bytes("d")
+        assert store.get_bytes("d") == b"abc"
+        assert store.nbytes() == 3 and len(store) == 1
+        assert store.evict("d")
+        assert store.get_bytes("d") is None
+        assert not store.evict("d")
+        assert (store.hits, store.misses, store.evictions) == (1, 1, 1)

@@ -38,6 +38,7 @@ from tools.analysis.core import Checker, Finding, ParsedModule, enclosing_symbol
 #: animator's replay identity).
 CRITICAL_MODULES = (
     "repro.anim.incremental",
+    "repro.anim.delta",
     "repro.raster.*",
     "repro.advection.*",
     "repro.spots.*",
