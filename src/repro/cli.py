@@ -25,6 +25,14 @@ writing any code:
   workload through the pickling process backend and the zero-copy
   shared-memory backend and report the frames/s speedup, with a
   bit-identity check against the serial reference;
+* ``serve-node`` — run one cluster node (:mod:`repro.cluster`): a
+  socket front end over a :class:`TextureService`, joined to peer
+  nodes over a consistent-hash ring so each distinct frame renders
+  once fleet-wide;
+* ``cluster-bench`` — stand up an in-process fleet, fan a request
+  trace across its nodes and report fleet-wide renders vs the no-share
+  baseline (every node caching independently), with a bit-identity
+  spot check against a single-node service;
 * ``lint`` — run the repo-aware static-analysis gate
   (:mod:`tools.analysis`): determinism, cache-key completeness, lock
   discipline, resource lifecycle and atomic writes.
@@ -515,6 +523,185 @@ def _cmd_plan_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_node(args: argparse.Namespace) -> int:
+    # Imports deferred: the cluster tier pulls in the serving stack.
+    import threading
+
+    from repro.cluster import ClusterNode, TenantQuotas, analytic_source
+    from repro.core.config import SpotNoiseConfig
+    from repro.service import TextureService
+
+    config = SpotNoiseConfig(
+        n_spots=args.spots,
+        texture_size=args.size,
+        spot_mode="standard",
+        seed=args.seed,
+        backend=args.backend,
+    )
+    source = analytic_source(seed=args.seed, grid=args.grid)
+    quotas = (
+        TenantQuotas(rate=args.quota_rate, burst=args.quota_burst)
+        if args.quota_rate > 0
+        else None
+    )
+
+    peers = []
+    for spec in args.peer or []:
+        try:
+            peer_id, _, addr = spec.partition("=")
+            host, _, port = addr.rpartition(":")
+            peers.append((peer_id, (host, int(port))))
+            if not (peer_id and host):
+                raise ValueError(spec)
+        except ValueError:
+            print(f"serve-node: bad --peer {spec!r} (want ID=HOST:PORT)",
+                  file=sys.stderr)
+            return 2
+
+    service = TextureService(
+        source,
+        config,
+        n_workers=args.workers,
+        disk_dir=args.disk or None,
+        memoize_digests=True,  # analytic source is immutable per frame
+    )
+    node = ClusterNode(
+        args.node_id,
+        service,
+        host=args.host,
+        port=args.port,
+        quotas=quotas,
+        blob_store=service.cache.disk,
+    )
+    try:
+        node.serve()
+        for peer_id, address in peers:
+            node.add_peer(peer_id, address)
+        host, port = node.address
+        print(f"serve-node: {args.node_id} listening on {host}:{port} "
+              f"({config.n_spots} spots, {config.texture_size}px, "
+              f"backend {config.backend}, {len(peers)} peers)")
+        sys.stdout.flush()
+        stop = threading.Event()
+        try:
+            if args.duration > 0:
+                stop.wait(args.duration)
+            else:  # pragma: no cover - interactive mode, exercised manually
+                while not stop.wait(3600):
+                    pass
+        except KeyboardInterrupt:  # pragma: no cover - interactive mode
+            pass
+    finally:
+        node.close()
+        report = service.stats.report()
+        service.close()
+    print(report)
+    return 0
+
+
+def _cmd_cluster_bench(args: argparse.Namespace) -> int:
+    # Imports deferred: the cluster tier pulls in the serving stack.
+    import numpy as np
+
+    from repro.cluster import LocalFleet, analytic_source
+    from repro.core.config import SpotNoiseConfig
+    from repro.service import (
+        FrameRenderer,
+        scrubbing_trace,
+        uniform_trace,
+        zipf_trace,
+    )
+
+    config = SpotNoiseConfig(
+        n_spots=args.spots,
+        texture_size=args.size,
+        spot_mode="standard",
+        seed=args.seed,
+        backend=args.backend,
+    )
+    source = analytic_source(seed=args.seed, grid=args.grid)
+
+    makers = {
+        "uniform": lambda: uniform_trace(args.requests, args.frames, seed=args.seed),
+        "zipf": lambda: zipf_trace(
+            args.requests, args.frames, exponent=args.zipf_exponent, seed=args.seed
+        ),
+        "scrub": lambda: scrubbing_trace(args.requests, args.frames, seed=args.seed),
+    }
+    trace = makers[args.trace]()
+    distinct = len(set(trace))
+
+    # The no-share baseline: the same trace fanned round-robin across
+    # N independent single-node services, each caching only what it has
+    # seen.  Count-based and deterministic — node i serves trace[i::N]
+    # and renders one texture per distinct frame in its slice.
+    no_share = sum(
+        len(set(trace[i::args.nodes])) for i in range(args.nodes)
+    )
+
+    print(f"cluster-bench: {args.nodes} nodes, {args.trace} trace, "
+          f"{args.requests} requests over {args.frames} frames "
+          f"({distinct} distinct)")
+    print(f"config: {config.n_spots} spots, {config.texture_size}px, "
+          f"backend {config.backend}, workers {args.workers}")
+
+    responses = {}
+    with LocalFleet(
+        args.nodes,
+        config,
+        field_source=source,
+        seed=args.seed,
+        n_workers=args.workers,
+    ) as fleet:
+        for i, frame in enumerate(trace):
+            responses[frame] = fleet.request(i % args.nodes, frame)
+        fleet_renders = fleet.total_renders()
+        per_node = fleet.node_renders()
+        forwards = fleet.total_forwards()
+
+    print()
+    print(f"fleet renders:    {fleet_renders:5d}  (per node: {per_node})")
+    print(f"no-share renders: {no_share:5d}  (each node caching alone)")
+    print(f"distinct frames:  {distinct:5d}  (exactly-once floor)")
+    print(f"proxied hops:     {forwards:5d}")
+
+    ok = True
+    if fleet_renders > distinct:
+        # Exactly-once fleet-wide is the design point; more than one
+        # render per distinct frame means routing or coalescing broke.
+        print(f"FAIL: {fleet_renders} renders for {distinct} distinct frames")
+        ok = False
+    if no_share > distinct:
+        saved = 1.0 - fleet_renders / no_share
+        print(f"renders saved vs no-share: {saved:.0%}")
+        if fleet_renders >= no_share:
+            print("FAIL: sharded fleet did not beat the no-share baseline")
+            ok = False
+    else:
+        # Floor guard: with every node's slice already covering each
+        # distinct frame at most once there is nothing to deduplicate,
+        # so "beat the baseline" is unsatisfiable — not a regression.
+        print("no-share baseline already at the exactly-once floor; "
+              "nothing to beat (guard passes)")
+
+    if args.verify_sample > 0:
+        renderer = FrameRenderer(config)
+        try:
+            sample = sorted(responses)[: args.verify_sample]
+            identical = all(
+                np.array_equal(responses[f], renderer.render(source(f)))
+                for f in sample
+            )
+        finally:
+            renderer.close()
+        print(f"bit-identical to fresh renders ({len(sample)} sampled): "
+              f"{'yes' if identical else 'NO'}")
+        if not identical:
+            ok = False
+
+    return 0 if ok else 1
+
+
 def _cmd_lint(lint_args: Sequence[str]) -> int:
     """Forward to the static-analysis gate (``python -m tools.analysis``).
 
@@ -682,6 +869,71 @@ def build_parser() -> argparse.ArgumentParser:
                              "(0 = use os.cpu_count())")
     p_plan.add_argument("--seed", type=int, default=0)
     p_plan.set_defaults(fn=_cmd_plan_bench)
+
+    p_node = sub.add_parser(
+        "serve-node",
+        help="run one cluster node: a socket front end over a texture "
+             "service, sharded across peers by consistent hashing",
+    )
+    p_node.add_argument("--node-id", default="node-0",
+                        help="stable identity on the hash ring")
+    p_node.add_argument("--host", default="127.0.0.1")
+    p_node.add_argument("--port", type=int, default=0,
+                        help="listen port (0 = ephemeral, printed on start)")
+    p_node.add_argument("--peer", action="append", metavar="ID=HOST:PORT",
+                        help="peer node to join (repeatable)")
+    p_node.add_argument("--workers", type=int, default=2, help="render workers")
+    p_node.add_argument("--spots", type=int, default=400)
+    p_node.add_argument("--size", type=int, default=64, help="texture size (px)")
+    p_node.add_argument("--grid", type=int, default=32, help="analytic field grid n")
+    p_node.add_argument(
+        "--backend", choices=("serial", "thread", "process", "sharedmem"),
+        default="serial",
+        help="render backend; every node in a fleet must use the same "
+             "explicit backend so fingerprints (and therefore routing) agree",
+    )
+    p_node.add_argument("--disk", default="", help="optional disk cache directory")
+    p_node.add_argument("--seed", type=int, default=0)
+    p_node.add_argument("--quota-rate", type=float, default=0.0,
+                        help="per-tenant sustained requests/s (0 = no quotas)")
+    p_node.add_argument("--quota-burst", type=float, default=32.0,
+                        help="per-tenant burst allowance")
+    p_node.add_argument("--duration", type=float, default=0.0,
+                        help="serve for this many seconds then exit "
+                             "(0 = until interrupted)")
+    p_node.set_defaults(fn=_cmd_serve_node)
+
+    p_cluster = sub.add_parser(
+        "cluster-bench",
+        help="fan a request trace across an in-process fleet and compare "
+             "fleet-wide renders against the no-share baseline",
+    )
+    p_cluster.add_argument("--nodes", type=int, default=2, help="fleet size")
+    p_cluster.add_argument(
+        "--trace", choices=("uniform", "zipf", "scrub"), default="scrub",
+        help="request arrival pattern over the frame range",
+    )
+    p_cluster.add_argument("--requests", "-n", type=int, default=192)
+    p_cluster.add_argument("--frames", type=int, default=48,
+                           help="distinct frame range")
+    p_cluster.add_argument("--workers", type=int, default=2,
+                           help="render workers per node")
+    p_cluster.add_argument("--spots", type=int, default=300)
+    p_cluster.add_argument("--size", type=int, default=64,
+                           help="texture size (px)")
+    p_cluster.add_argument("--grid", type=int, default=32,
+                           help="analytic field grid n")
+    p_cluster.add_argument(
+        "--backend", choices=("serial", "thread", "process", "sharedmem"),
+        default="serial",
+        help="render backend shared by every node in the fleet",
+    )
+    p_cluster.add_argument("--zipf-exponent", type=float, default=1.1)
+    p_cluster.add_argument("--seed", type=int, default=0)
+    p_cluster.add_argument("--verify-sample", type=int, default=3,
+                           help="frames re-rendered one-shot for the "
+                                "bit-identity check (0 disables)")
+    p_cluster.set_defaults(fn=_cmd_cluster_bench)
 
     p_lint = sub.add_parser(
         "lint",

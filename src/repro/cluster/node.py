@@ -1,0 +1,331 @@
+"""One fleet member: a socket front end over a :class:`TextureService`.
+
+:class:`ClusterNode` binds a local service to the wire protocol and a
+consistent-hash ring.  Every texture request — from a client or from a
+peer — resolves to the digest it would be cached under
+(:meth:`~repro.service.server.TextureService.render_digest`), and the
+ring names the one node that owns that digest:
+
+* **owned here** → serve from the local stack (cache hit, coalesced
+  join, or render).  Concurrent duplicates from the whole fleet land on
+  this node and coalesce in its
+  :class:`~repro.service.scheduler.RequestScheduler`, so a distinct
+  frame renders exactly once *globally* — single-flight is routing plus
+  local coalescing, no consensus protocol;
+* **owned elsewhere** → proxy to the owner and relay its bytes.  The
+  proxied hop is marked ``direct`` so the owner serves locally even if
+  its ring view momentarily disagrees during a membership change —
+  worst case is a duplicate render on the old owner, never a wrong
+  response;
+* **owner unreachable** → drop it from the ring
+  (:meth:`mark_dead`) and retry at the key's *new* owner with bounded
+  backoff; when every route fails, serve locally.  Availability
+  degrades to extra renders, not errors.
+
+Quotas (:class:`~repro.cluster.quotas.TenantQuotas`) are charged once,
+at the node the request entered on; ``direct`` hops skip them.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.cluster import wire
+from repro.cluster.manifest import ClusterManifest, publish_store
+from repro.cluster.peer import PeerClient, PeerUnavailable
+from repro.cluster.quotas import TenantQuotas
+from repro.cluster.ring import HashRing
+from repro.errors import AdmissionError, ServiceError
+from repro.service.server import TextureService
+
+#: How many distinct owners a proxying node will try before serving the
+#: request itself.  Each failure removes the dead owner from the ring,
+#: so attempts walk successive owners, not the same corpse.
+PROXY_ATTEMPTS = 3
+
+
+class ClusterNode:
+    """Socket front end + ring routing for one fleet member.
+
+    Parameters
+    ----------
+    node_id:
+        Stable identifier; ring positions derive from it, so it must be
+        unique fleet-wide and identical across restarts for ownership
+        to be stable.
+    service:
+        The local :class:`~repro.service.server.TextureService`.  All
+        fleet members must be configured with the same *resolved*
+        config (explicit backend, not ``"auto"``) — ownership is routed
+        by content digest, and configs that fingerprint differently
+        would route the same frame to different owners.
+    host / port:
+        Bind address; port 0 picks an ephemeral port (tests).
+    quotas:
+        Optional per-tenant rate limits, charged at the entry node.
+    blob_store:
+        Optional blob store (the delta-chunk tier) served to syncing
+        peers via chunk/manifest requests.
+    sequences:
+        Sequence manifests advertised in this node's published
+        manifest.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        service: TextureService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quotas: Optional[TenantQuotas] = None,
+        blob_store=None,
+        sequences: Iterable[Dict[str, Any]] = (),
+    ):
+        if not node_id:
+            raise ServiceError("node_id must be non-empty")
+        self.node_id = node_id
+        self.service = service
+        self.quotas = quotas
+        self.blob_store = blob_store
+        self.sequences = tuple(dict(s) for s in sequences)
+        self.ring = HashRing([node_id])
+        self._host = host
+        self._port = int(port)
+        self._lock = threading.Lock()
+        self._peers: Dict[str, PeerClient] = {}  #: guarded-by: _lock
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        # (thread, connection) per live client connection, so close()
+        # can sever the sockets — a handler blocked in recv would
+        # otherwise outlive the node and answer as a half-dead zombie
+        # instead of letting peers fail over.
+        self._conns: "list[tuple[threading.Thread, socket.socket]]" = []  #: guarded-by: _lock
+        self._closed = False
+        self.address: Optional[Tuple[str, int]] = None
+
+    # -- membership --------------------------------------------------------------
+    def add_peer(self, node_id: str, address: Tuple[str, int], **client_kwargs) -> None:
+        """Join *node_id* at *address* to this node's ring view."""
+        if node_id == self.node_id:
+            return
+        client = PeerClient(address, **client_kwargs)
+        with self._lock:
+            old = self._peers.get(node_id)
+            self._peers[node_id] = client
+        if old is not None:
+            old.close()
+        self.ring.add(node_id)
+
+    def mark_dead(self, node_id: str) -> None:
+        """Drop *node_id* from the ring; its keys remap to survivors."""
+        if node_id == self.node_id:
+            return
+        self.ring.discard(node_id)
+        with self._lock:
+            client = self._peers.pop(node_id, None)
+        if client is not None:
+            client.close()
+
+    def peer(self, node_id: str) -> Optional[PeerClient]:
+        with self._lock:
+            return self._peers.get(node_id)
+
+    # -- serving -----------------------------------------------------------------
+    def serve(self) -> Tuple[str, int]:
+        """Bind, listen and start the accept loop; returns the address."""
+        if self._listener is not None:
+            assert self.address is not None
+            return self.address
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(64)
+        listener.settimeout(0.25)  # poll _closed without busy-waiting
+        self._listener = listener
+        self.address = (self._host, listener.getsockname()[1])
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"cluster-accept-{self.node_id}", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._closed:
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed under us during shutdown
+            conn.settimeout(30.0)
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name=f"cluster-conn-{self.node_id}",
+                daemon=True,
+            )
+            with self._lock:
+                self._conns = [
+                    (t, s) for t, s in self._conns if t.is_alive()
+                ] + [(thread, conn)]
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while not self._closed:
+                try:
+                    kind, header, body = wire.recv_message(conn)
+                except wire.WireClosed:
+                    return
+                except (wire.WireError, OSError):
+                    # Framing is gone; nothing sane can be sent back.
+                    return
+                if self._closed:
+                    # A request that raced shutdown: drop the connection
+                    # so the requester fails over instead of being told
+                    # "closed" by a node that is supposed to be dead.
+                    return
+                try:
+                    self._dispatch(conn, kind, header, body)
+                except AdmissionError as exc:
+                    self._send_error(conn, "admission", exc)
+                except ServiceError as exc:
+                    self._send_error(conn, "service", exc)
+                except OSError:
+                    return  # reply failed; peer will retry elsewhere
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _send_error(conn: socket.socket, error_kind: str, exc: Exception) -> None:
+        try:
+            wire.send_message(
+                conn, wire.ERROR, {"error": error_kind, "message": str(exc)}
+            )
+        except OSError:
+            pass  # the requester's retry path handles a vanished reply
+
+    def _dispatch(
+        self, conn: socket.socket, kind: int, header: Dict[str, Any], body: bytes
+    ) -> None:
+        if kind == wire.TEXTURE_REQUEST:
+            self._handle_texture(conn, header)
+        elif kind == wire.CHUNK_REQUEST:
+            self._handle_chunk(conn, header)
+        elif kind == wire.MANIFEST_REQUEST:
+            wire.send_message(
+                conn, wire.MANIFEST_RESPONSE, {"manifest": self.manifest().to_dict()}
+            )
+        elif kind == wire.PING:
+            wire.send_message(conn, wire.PONG, {"node": self.node_id})
+        else:
+            raise ServiceError(
+                f"unexpected request kind {wire.KIND_NAMES.get(kind, kind)}"
+            )
+
+    # -- texture routing ---------------------------------------------------------
+    def _handle_texture(self, conn: socket.socket, header: Dict[str, Any]) -> None:
+        try:
+            frame = int(header["frame"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed texture_request: {exc}") from exc
+        tenant = str(header.get("tenant", "default"))
+        direct = bool(header.get("direct", False))
+        if not direct and self.quotas is not None:
+            self.quotas.charge(tenant)
+        texture, meta = self.serve_frame(frame, tenant=tenant, direct=direct)
+        tex_header, tex_body = wire.encode_texture(texture)
+        tex_header.update(meta)
+        wire.send_message(conn, wire.TEXTURE_RESPONSE, tex_header, tex_body)
+
+    def serve_frame(
+        self, frame: int, tenant: str = "default", direct: bool = False
+    ) -> "tuple[Any, Dict[str, Any]]":
+        """Serve *frame*, routing through the ring; quota NOT charged here.
+
+        Returns ``(texture, meta)`` where meta records the digest, the
+        serving node and the cache source — the header fields of a
+        texture response.
+        """
+        digest = self.service.render_digest(frame)
+        for _attempt in range(PROXY_ATTEMPTS):
+            try:
+                owner = self.ring.owner(digest)
+            except ServiceError:
+                owner = self.node_id  # empty ring: last node standing
+            if direct or owner == self.node_id:
+                break
+            client = self.peer(owner)
+            if client is None:
+                # Ring knows a node we hold no client for (lost it to a
+                # failure race): treat as dead and re-route.
+                self.mark_dead(owner)
+                continue
+            try:
+                texture, remote_header = client.request_texture(
+                    frame, tenant=tenant, direct=True
+                )
+            except PeerUnavailable:
+                self.mark_dead(owner)
+                continue
+            self.service.stats.record_forward()
+            return texture, {
+                "digest": digest,
+                "node": str(remote_header.get("node", owner)),
+                "source": f"peer:{owner}",
+            }
+        response = self.service.request(frame)
+        return response.texture, {
+            "digest": digest,
+            "node": self.node_id,
+            "source": response.source,
+        }
+
+    # -- chunks + manifests ------------------------------------------------------
+    def _handle_chunk(self, conn: socket.socket, header: Dict[str, Any]) -> None:
+        digest = str(header.get("digest", ""))
+        payload = (
+            self.blob_store.get_bytes(digest)
+            if self.blob_store is not None and digest
+            else None
+        )
+        if payload is None:
+            wire.send_message(conn, wire.CHUNK_RESPONSE, {"found": False})
+        else:
+            wire.send_message(conn, wire.CHUNK_RESPONSE, {"found": True}, payload)
+
+    def manifest(self) -> ClusterManifest:
+        """This node's current published manifest."""
+        if self.blob_store is None:
+            return ClusterManifest(
+                node_id=self.node_id, chunks=(), sequences=self.sequences
+            )
+        return publish_store(self.blob_store, self.node_id, sequences=self.sequences)
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._listener is not None:
+            self._listener.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        with self._lock:
+            peers, self._peers = dict(self._peers), {}
+            conns, self._conns = list(self._conns), []
+        for client in peers.values():
+            client.close()
+        for _thread, conn in conns:
+            conn.close()
+        for thread, _conn in conns:
+            thread.join(timeout=1.0)
+
+    def __enter__(self) -> "ClusterNode":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

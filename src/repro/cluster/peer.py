@@ -1,0 +1,206 @@
+"""Client side of the node-to-node (and client-to-node) protocol.
+
+:class:`PeerClient` speaks :mod:`repro.cluster.wire` to one node's
+socket front end: request a texture, fetch a chunk by digest, pull the
+node's manifest, ping.  Connections are pooled and reused across calls;
+a call that hits a dead socket, a truncated frame or a corrupt frame
+retries on a *fresh* connection with exponential backoff, and only after
+the attempt budget is spent does it surface
+:class:`PeerUnavailable` — at which point the routing layer
+(:class:`repro.cluster.node.ClusterNode`) drops the peer from its ring
+and re-routes to the key's new owner.
+
+Application-level rejections travel as ``ERROR`` frames and are *not*
+retried here: an admission shed (:class:`~repro.errors.AdmissionError`)
+or a service error means the peer is alive and said no — retrying the
+same request at the same node would just double the load that caused
+the shed.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster import wire
+from repro.cluster.manifest import ClusterManifest
+from repro.errors import AdmissionError, ServiceError
+
+
+class PeerUnavailable(ServiceError):
+    """The peer could not be reached (or kept corrupting frames)."""
+
+
+class PeerClient:
+    """Pooled, retrying client for one cluster node.
+
+    Parameters
+    ----------
+    address:
+        ``(host, port)`` of the peer's socket front end.
+    timeout:
+        Per-socket-operation timeout in seconds.
+    attempts:
+        Transport attempts per call before :class:`PeerUnavailable`.
+    backoff_s:
+        Base of the exponential between-attempt backoff
+        (``backoff_s * 2**attempt``).
+    sleep:
+        Injectable sleep (tests pass a no-op to keep fault suites fast).
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        timeout: float = 10.0,
+        attempts: int = 3,
+        backoff_s: float = 0.05,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if attempts < 1:
+            raise ServiceError(f"attempts must be >= 1, got {attempts}")
+        self.address = (str(address[0]), int(address[1]))
+        self.timeout = float(timeout)
+        self.attempts = int(attempts)
+        self.backoff_s = float(backoff_s)
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._pool: List[socket.socket] = []  #: guarded-by: _lock
+        self._closed = False  #: guarded-by: _lock
+
+    # -- connection pool ---------------------------------------------------------
+    def _checkout(self) -> socket.socket:
+        with self._lock:
+            if self._closed:
+                raise PeerUnavailable(f"client for {self.address} is closed")
+            if self._pool:
+                return self._pool.pop()
+        sock = socket.create_connection(self.address, timeout=self.timeout)
+        sock.settimeout(self.timeout)
+        return sock
+
+    def _checkin(self, sock: socket.socket) -> None:
+        with self._lock:
+            if not self._closed:
+                self._pool.append(sock)
+                return
+        sock.close()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, []
+        for sock in pool:
+            sock.close()
+
+    # -- one framed round trip ---------------------------------------------------
+    def _call(
+        self, kind: int, header: Dict[str, Any], body: bytes = b""
+    ) -> Tuple[int, Dict[str, Any], bytes]:
+        """Send one request frame, return the response frame.
+
+        Transport faults (refused/reset connections, truncated or
+        corrupt frames) retry on a fresh socket with exponential
+        backoff; ``ERROR`` frames are decoded into the corresponding
+        application exception and never retried.
+        """
+        last: Optional[Exception] = None
+        for attempt in range(self.attempts):
+            if attempt:
+                self._sleep(self.backoff_s * (2 ** (attempt - 1)))
+            try:
+                sock = self._checkout()
+            except OSError as exc:
+                last = exc
+                continue
+            try:
+                wire.send_message(sock, kind, header, body)
+                response = wire.recv_message(sock)
+            except (OSError, wire.WireError) as exc:
+                # The stream's framing can no longer be trusted; the
+                # socket must not go back in the pool.
+                sock.close()
+                last = exc
+                continue
+            self._checkin(sock)
+            return self._raise_on_error(response)
+        raise PeerUnavailable(
+            f"peer {self.address} unavailable after {self.attempts} attempts: {last}"
+        ) from last
+
+    @staticmethod
+    def _raise_on_error(
+        response: Tuple[int, Dict[str, Any], bytes]
+    ) -> Tuple[int, Dict[str, Any], bytes]:
+        kind, header, body = response
+        if kind != wire.ERROR:
+            return response
+        message = str(header.get("message", "peer error"))
+        if header.get("error") == "admission":
+            raise AdmissionError(message)
+        raise ServiceError(message)
+
+    # -- the protocol ------------------------------------------------------------
+    def request_texture(
+        self, frame: int, tenant: str = "default", direct: bool = False
+    ) -> Tuple[np.ndarray, Dict[str, Any]]:
+        """Request *frame*; returns ``(texture, response header)``.
+
+        *direct* marks a proxied hop: the receiving node serves locally
+        (no quota charge, no re-routing) even if its ring view disagrees
+        — the entry node already charged the tenant and picked an owner.
+        """
+        kind, header, body = self._call(
+            wire.TEXTURE_REQUEST,
+            {"frame": int(frame), "tenant": tenant, "direct": bool(direct)},
+        )
+        if kind != wire.TEXTURE_RESPONSE:
+            raise ServiceError(
+                f"expected texture_response, got {wire.KIND_NAMES.get(kind, kind)}"
+            )
+        return wire.decode_texture(header, body), header
+
+    def fetch_chunk(self, digest: str) -> Optional[bytes]:
+        """The raw chunk payload stored under *digest*, or ``None``.
+
+        The returned bytes are **unverified** — callers sync through
+        :func:`repro.cluster.manifest.sync_manifest`, which re-hashes
+        against the published ``payload_sha256`` before storing.
+        """
+        kind, header, body = self._call(wire.CHUNK_REQUEST, {"digest": str(digest)})
+        if kind != wire.CHUNK_RESPONSE:
+            raise ServiceError(
+                f"expected chunk_response, got {wire.KIND_NAMES.get(kind, kind)}"
+            )
+        return body if header.get("found") else None
+
+    def manifest(self) -> ClusterManifest:
+        """The peer's current published manifest."""
+        kind, header, _ = self._call(wire.MANIFEST_REQUEST, {})
+        if kind != wire.MANIFEST_RESPONSE:
+            raise ServiceError(
+                f"expected manifest_response, got {wire.KIND_NAMES.get(kind, kind)}"
+            )
+        payload = header.get("manifest")
+        if not isinstance(payload, dict):
+            raise ServiceError("manifest_response carried no manifest object")
+        return ClusterManifest.from_dict(payload)
+
+    def ping(self) -> Dict[str, Any]:
+        """Round-trip liveness probe; returns the pong header."""
+        kind, header, _ = self._call(wire.PING, {})
+        if kind != wire.PONG:
+            raise ServiceError(
+                f"expected pong, got {wire.KIND_NAMES.get(kind, kind)}"
+            )
+        return header
+
+    def __enter__(self) -> "PeerClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

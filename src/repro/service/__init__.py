@@ -29,7 +29,7 @@ which builds on this module's keys, caches and single-flight scheduler
 (see :meth:`TextureService.animation_service`).
 """
 
-from repro.service.admission import AdmissionController, LatencyPredictor
+from repro.service.admission import AdmissionController, LatencyPredictor, TokenBucket
 from repro.service.cache import (
     DiskBlobStore,
     DiskTextureCache,
@@ -42,6 +42,7 @@ from repro.service.keys import (
     TileSpec,
     chain_digest,
     request_key,
+    ring_hash,
 )
 from repro.service.scheduler import RenderTicket, RequestScheduler
 from repro.service.server import FrameRenderer, TextureResponse, TextureService
@@ -58,6 +59,7 @@ from repro.service.trace import (
 __all__ = [
     "AdmissionController",
     "LatencyPredictor",
+    "TokenBucket",
     "DiskBlobStore",
     "DiskTextureCache",
     "LRUTextureCache",
@@ -67,6 +69,7 @@ __all__ = [
     "TileSpec",
     "chain_digest",
     "request_key",
+    "ring_hash",
     "RenderTicket",
     "RequestScheduler",
     "FrameRenderer",

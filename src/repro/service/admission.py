@@ -19,7 +19,8 @@ every client behind it.
 from __future__ import annotations
 
 import threading
-from typing import Optional, Tuple
+import time
+from typing import Callable, Optional, Tuple
 
 from repro.core.config import SpotNoiseConfig
 from repro.errors import AdmissionError, ServiceError
@@ -121,6 +122,56 @@ class LatencyPredictor:
         """
         with self._lock:
             return self._scale
+
+
+class TokenBucket:
+    """Thread-safe token bucket: sustained *rate* with a *burst* cap.
+
+    The rate-limiting half of admission control: where
+    :class:`AdmissionController` sheds work whose predicted wait blows a
+    latency budget, a bucket sheds work that exceeds an allotted
+    *throughput* — the per-tenant quota layer of the cluster tier
+    (:mod:`repro.cluster.quotas`) keeps one bucket per tenant.
+
+    Tokens refill continuously at *rate* per second up to *burst*; an
+    acquire that finds no whole token fails.  The clock is injectable so
+    quota tests are deterministic instead of sleep-based.
+    """
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Optional[Callable[[], float]] = None):
+        if rate <= 0:
+            raise ServiceError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ServiceError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock or time.monotonic
+        self._lock = threading.Lock()
+        self._tokens = float(burst)  #: guarded-by: _lock
+        self._last = self._clock()  #: guarded-by: _lock
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take *n* tokens if available; ``False`` sheds the request."""
+        now = self._clock()
+        with self._lock:
+            elapsed = max(0.0, now - self._last)
+            self._last = now
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            if self._tokens < n:
+                return False
+            self._tokens -= n
+            return True
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently available (refilled to now; observability)."""
+        now = self._clock()
+        with self._lock:
+            elapsed = max(0.0, now - self._last)
+            self._last = now
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            return self._tokens
 
 
 class AdmissionController:

@@ -21,7 +21,7 @@ import os
 import threading
 import zipfile
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -210,6 +210,19 @@ class DiskBlobStore:
     def contains_bytes(self, digest: str) -> bool:
         return os.path.exists(self._blob_path(digest))
 
+    def iter_blob_digests(self) -> "Iterator[str]":
+        """Digests of every raw blob currently in the store (sorted).
+
+        The cluster manifest publisher (:mod:`repro.cluster.manifest`)
+        enumerates the store through this to build its chunk table.  The
+        listing is a snapshot: a blob evicted between listing and read
+        simply turns into a ``get_bytes`` miss, the store's usual
+        contract.
+        """
+        for name in sorted(os.listdir(self.directory)):
+            if name.endswith(".blob"):
+                yield name[: -len(".blob")]
+
     # -- eviction ----------------------------------------------------------------
     def evict(self, digest: str) -> bool:
         """Remove *digest* (bundle or blob); ``True`` if anything was removed.
@@ -309,6 +322,12 @@ class MemoryBlobStore:
     def contains_bytes(self, digest: str) -> bool:
         with self._lock:
             return digest in self._entries
+
+    def iter_blob_digests(self) -> "Iterator[str]":
+        """Digests of every blob in the store (sorted snapshot)."""
+        with self._lock:
+            digests = sorted(self._entries)
+        return iter(digests)
 
     def evict(self, digest: str) -> bool:
         with self._lock:

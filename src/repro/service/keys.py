@@ -107,6 +107,23 @@ class RequestKey:
         return replace(self, tile=None)
 
 
+def ring_hash(token: str) -> int:
+    """Stable 64-bit ring position of *token*.
+
+    The consistent-hash ring (:mod:`repro.cluster.ring`) places both
+    virtual node points and request-key digests by this function.  It is
+    derived from SHA-256 — never from Python's salted ``hash()`` — so
+    ownership of the existing :class:`RequestKey`/:class:`SequenceKey`
+    digests is identical in every process of a fleet and across
+    restarts: a key's owner is a pure function of the key and the node
+    set, which is what lets any node route (or proxy) a request to the
+    single node that renders it.
+    """
+    return int.from_bytes(
+        hashlib.sha256(token.encode("utf-8")).digest()[:8], "big"
+    )
+
+
 def chunk_digest(payload: bytes) -> str:
     """Content address of one transport chunk (SHA-256 of its bytes).
 

@@ -356,6 +356,22 @@ class TextureService:
         with self._digest_lock:
             self._digests.pop(frame, None)
 
+    def render_digest(self, frame: int) -> str:
+        """The full-frame render digest of *frame* — the routing key.
+
+        A cluster node (:mod:`repro.cluster.node`) needs the key a
+        request *would* be cached under before deciding which peer owns
+        it, without rendering anything.  Computed from the same
+        fingerprint snapshot the request path uses, so the owner a node
+        routes to is the owner of the digest it would serve locally.
+        With ``memoize_digests`` the field is loaded at most once per
+        frame across all routing and serving calls.
+        """
+        with self._replan_lock:
+            fingerprint = self._fingerprint
+        key, _ = self._key_for(frame, fingerprint)
+        return key.digest
+
     # -- the request path --------------------------------------------------------
     def request(
         self,

@@ -34,6 +34,9 @@ class ServiceStats:
         self.sheds = 0
         self.errors = 0
         self.renders = 0
+        #: Requests this service's node proxied to a peer that owns the
+        #: key (cluster tier; always 0 on a single-process service).
+        self.forwards = 0
         self.hits_by_source: Dict[str, int] = {s: 0 for s in SOURCES}
         self._latencies: Dict[str, Deque[float]] = {
             s: deque(maxlen=sample_window) for s in SOURCES
@@ -64,6 +67,11 @@ class ServiceStats:
     def record_shed(self) -> None:
         with self._lock:
             self.sheds += 1
+
+    def record_forward(self) -> None:
+        """Count one request routed to a peer node (cluster tier)."""
+        with self._lock:
+            self.forwards += 1
 
     def record_error(self) -> None:
         with self._lock:
@@ -128,11 +136,13 @@ class ServiceStats:
             renders = self.renders
             sheds = self.sheds
             errors = self.errors
+            forwards = self.forwards
         snap: "dict[str, object]" = {
             "requests": requests,
             "renders": renders,
             "sheds": sheds,
             "errors": errors,
+            "forwards": forwards,
             "by_source": by_source,
             "hit_rate": self.hit_rate(),
             "coalesce_rate": self.coalesce_rate(),
@@ -149,7 +159,8 @@ class ServiceStats:
         by_source = snap["by_source"]
         lines = [
             f"requests: {snap['requests']} "
-            f"(renders {snap['renders']}, sheds {snap['sheds']}, errors {snap['errors']})",
+            f"(renders {snap['renders']}, sheds {snap['sheds']}, "
+            f"errors {snap['errors']}, forwards {snap['forwards']})",
             "served:   "
             + ", ".join(
                 f"{s}={by_source.get(s, 0)}"

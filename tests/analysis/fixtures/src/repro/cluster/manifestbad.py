@@ -1,0 +1,40 @@
+"""Fixture: cluster-manifest-shaped dataclasses for the fingerprint rule.
+
+``BadManifest.digest`` forgets its ``sequences`` field — the exact
+mistake that would let two manifests differing only in their sequence
+tables share a content address, so digest-sync peers would skip a sync
+they need.  ``GoodManifest`` covers every field.
+"""
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class BadManifest:
+    node_id: str
+    chunks: Tuple[str, ...]
+    sequences: Tuple[Dict[str, Any], ...]
+
+    @property
+    def digest(self) -> str:
+        payload = {"node_id": self.node_id, "chunks": list(self.chunks)}
+        return hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class GoodManifest:
+    node_id: str
+    chunks: Tuple[str, ...]
+    sequences: Tuple[Dict[str, Any], ...]
+
+    @property
+    def digest(self) -> str:
+        payload = {
+            "node_id": self.node_id,
+            "chunks": list(self.chunks),
+            "sequences": list(self.sequences),
+        }
+        return hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest()

@@ -22,6 +22,22 @@ class TestPerFile:
         assert not any("CompleteByConstruction" in f.message for f in report.findings)
 
 
+class TestClusterManifests:
+    """The rule covers the cluster tier's digest-bearing dataclasses."""
+
+    def test_manifest_digest_missing_a_field_is_flagged(self, analyse):
+        report = analyse("cluster/manifestbad.py")
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert finding.rule == "fingerprint-completeness"
+        assert "field 'sequences' of BadManifest" in finding.message
+        assert finding.symbol == "BadManifest.digest"
+
+    def test_complete_manifest_digest_is_clean(self, analyse):
+        report = analyse("cluster/manifestbad.py")
+        assert not any("GoodManifest" in f.message for f in report.findings)
+
+
 class TestCrossFile:
     CROSS_REFS = (
         ("repro.service.tokenmod", "policy_token", "policy",

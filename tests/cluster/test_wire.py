@@ -1,0 +1,174 @@
+"""The wire protocol's contract: corrupt frames fail loudly, never decode.
+
+Every frame carries a SHA-256 over header and body; these tests flip
+bytes at every interesting offset, truncate mid-frame, announce absurd
+lengths and close sockets at both clean and dirty boundaries, asserting
+the receiver always raises :class:`WireError`/:class:`WireClosed` and
+never hands back wrong bytes.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.cluster import wire
+
+
+def _pair():
+    return socket.socketpair()
+
+
+def _roundtrip(kind, header, body=b""):
+    a, b = _pair()
+    try:
+        wire.send_message(a, kind, header, body)
+        return wire.recv_message(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_round_trip_all_kinds():
+    for kind in wire.KIND_NAMES:
+        got_kind, header, body = _roundtrip(
+            kind, {"n": kind, "s": "x"}, bytes([kind]) * 7
+        )
+        assert got_kind == kind
+        assert header == {"n": kind, "s": "x"}
+        assert body == bytes([kind]) * 7
+
+
+def test_empty_header_and_body():
+    kind, header, body = _roundtrip(wire.PING, {})
+    assert (kind, header, body) == (wire.PING, {}, b"")
+
+
+@pytest.mark.parametrize(
+    "mutate, match",
+    [
+        (lambda f: b"XXXX" + f[4:], "magic"),
+        (lambda f: f[:4] + bytes([99]) + f[5:], "kind"),
+        # A flipped byte inside the JSON header or the body leaves the
+        # framing intact but breaks the checksum.
+        (lambda f: f[:18] + bytes([f[18] ^ 0xFF]) + f[19:], "checksum"),
+        (lambda f: f[:-40] + bytes([f[-40] ^ 0x01]) + f[-39:], "checksum"),
+        # A corrupted digest trailer is indistinguishable from corrupted
+        # content — same rejection.
+        (lambda f: f[:-1] + bytes([f[-1] ^ 0x80]), "checksum"),
+    ],
+)
+def test_corrupted_frames_raise_wire_error(mutate, match):
+    frame = wire.encode_frame(wire.TEXTURE_RESPONSE, {"k": 1}, b"payload-bytes")
+    a, b = _pair()
+    try:
+        a.sendall(mutate(frame))
+        a.close()
+        with pytest.raises(wire.WireError, match=match):
+            wire.recv_message(b)
+    finally:
+        b.close()
+
+
+@pytest.mark.parametrize("cut", [1, 10, 30, -5])
+def test_truncated_frames_raise_mid_frame_not_closed(cut):
+    frame = wire.encode_frame(wire.CHUNK_RESPONSE, {"found": True}, b"x" * 64)
+    a, b = _pair()
+    try:
+        a.sendall(frame[:cut] if cut > 0 else frame[:cut])
+        a.close()
+        with pytest.raises(wire.WireError) as excinfo:
+            wire.recv_message(b)
+        assert not isinstance(excinfo.value, wire.WireClosed)
+    finally:
+        b.close()
+
+
+def test_clean_close_raises_wire_closed():
+    a, b = _pair()
+    a.close()
+    try:
+        with pytest.raises(wire.WireClosed):
+            wire.recv_message(b)
+    finally:
+        b.close()
+
+
+def test_oversize_announcements_rejected_before_allocation():
+    good = wire.encode_frame(wire.PING, {})
+    prefix = wire._PREFIX
+    for header_len, body_len in (
+        (wire.MAX_HEADER_BYTES + 1, 0),
+        (0, wire.MAX_BODY_BYTES + 1),
+    ):
+        evil = prefix.pack(wire.MAGIC, wire.PING, header_len, body_len) + good[prefix.size:]
+        a, b = _pair()
+        try:
+            a.sendall(evil)
+            a.close()
+            with pytest.raises(wire.WireError, match="cap"):
+                wire.recv_message(b)
+        finally:
+            b.close()
+
+
+def test_encode_rejects_unknown_kind():
+    with pytest.raises(wire.WireError, match="kind"):
+        wire.encode_frame(42, {})
+
+
+def test_malformed_json_header_rejected():
+    import hashlib
+    import struct
+
+    header_bytes = b"not json at all"
+    digest = hashlib.sha256(header_bytes).digest()
+    frame = (
+        struct.pack("!4sBIQ", wire.MAGIC, wire.PING, len(header_bytes), 0)
+        + header_bytes
+        + digest
+    )
+    a, b = _pair()
+    try:
+        a.sendall(frame)
+        a.close()
+        with pytest.raises(wire.WireError, match="malformed"):
+            wire.recv_message(b)
+    finally:
+        b.close()
+
+
+# -- texture payloads ---------------------------------------------------------
+def test_texture_round_trip_is_bit_identical():
+    rng = np.random.default_rng(0)
+    texture = rng.standard_normal((33, 17))
+    header, body = wire.encode_texture(texture)
+    decoded = wire.decode_texture(header, body)
+    assert decoded.dtype == texture.dtype
+    assert np.array_equal(decoded, texture)
+    assert decoded.tobytes() == np.ascontiguousarray(texture).tobytes()
+
+
+def test_texture_survives_a_full_wire_round_trip():
+    texture = np.linspace(0.0, 1.0, 64).reshape(8, 8)
+    header, body = wire.encode_texture(texture)
+    kind, got_header, got_body = _roundtrip(wire.TEXTURE_RESPONSE, header, body)
+    assert np.array_equal(wire.decode_texture(got_header, got_body), texture)
+
+
+def test_texture_size_mismatch_rejected():
+    header, body = wire.encode_texture(np.zeros((4, 4)))
+    with pytest.raises(wire.WireError, match="announces"):
+        wire.decode_texture(header, body[:-8])
+    with pytest.raises(wire.WireError, match="announces"):
+        wire.decode_texture({**header, "shape": [8, 8]}, body)
+
+
+def test_texture_malformed_header_rejected():
+    _, body = wire.encode_texture(np.zeros((4, 4)))
+    with pytest.raises(wire.WireError, match="malformed"):
+        wire.decode_texture({"shape": [4, 4]}, body)  # no dtype
+    with pytest.raises(wire.WireError, match="malformed"):
+        wire.decode_texture({"shape": ["x"], "dtype": "<f8"}, body)

@@ -44,6 +44,10 @@ DURABLE_MODULES = (
     "repro.apps.dns.store",
     "repro.fields.io",
     "repro.viz.*",
+    # The cluster tier persists synced chunks and manifests through the
+    # blob store; any direct path write in it would break the same
+    # no-partial-reads promise.
+    "repro.cluster.*",
 )
 
 #: The implementation of the idiom is exempt from itself.
