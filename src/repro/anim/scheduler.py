@@ -10,23 +10,28 @@ flight has not passed *joins* it (extending its target if the request
 reaches further); everyone waits on the flight's buffer, so N
 overlapping scrubs cost one incremental render walk.
 
-The flights' jobs execute on a
-:class:`~repro.service.scheduler.RequestScheduler` worker pool — the
+On the async spine the walk state lives in a loop-confined
+:class:`~repro.runtime.streams.FrameStream` — the condition variable and
+its lock are gone; every mutation is a loop callback and every wait an
+awaited future.  :class:`SequenceFlight` is the blocking facade the
+walk jobs and stream iterators still call.  The flights' jobs execute on
+a :class:`~repro.service.scheduler.RequestScheduler` render pool — the
 sequence layer adds range semantics and streaming delivery on top of the
-single-flight machinery, it does not replace it.  Publication uses the
+single-flight machinery, it does not replace it.  Publication keeps the
 load-linked/store-conditional shape of lock-free coordination: joiners
-*observe* the flight under the registry lock and only the flight's own
+*observe* the stream in one loop callback and only the flight's own
 worker advances it, so readers never block the render walk.
 """
 
 from __future__ import annotations
 
+import asyncio
 import threading
-import time
-from collections import OrderedDict
-from typing import Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import AnimationServiceError, ServiceError
+from repro.runtime.loop import RuntimeLoop, get_runtime_loop
+from repro.runtime.streams import FrameStream
 from repro.service.scheduler import RequestScheduler
 
 #: Published frames a flight keeps buffered for joiners.  The buffer
@@ -39,13 +44,14 @@ DEFAULT_BUFFER_LIMIT = 64
 class SequenceFlight:
     """One in-flight streaming render of a frame range.
 
-    The flight renders frames ``first..target-1`` in order;  ``target``
-    is monotonically extendable while the flight runs.  Published frames
-    are buffered in :attr:`frames` for waiters, bounded to the most
-    recent *buffer_limit* entries — anything the walk has passed is in
-    the service's content-addressed cache already, so
-    :meth:`wait_frame` reports evicted/passed frames as ``None`` and the
-    caller falls back to the cache.
+    A blocking facade over a loop-confined
+    :class:`~repro.runtime.streams.FrameStream`: mutations
+    (:meth:`publish`, :meth:`finish`, :meth:`curtail`, :meth:`try_join`)
+    execute as single loop callbacks, :meth:`wait_frame` awaits the
+    stream's future on the spine, and the introspection attributes
+    (:attr:`frames`, :attr:`position`, :attr:`target`, …) are snapshot
+    reads — exact once the loop drains, which is all the old
+    condition-variable version guaranteed to outside readers too.
     """
 
     def __init__(
@@ -54,87 +60,71 @@ class SequenceFlight:
         first: int,
         target: int,
         buffer_limit: int = DEFAULT_BUFFER_LIMIT,
+        runtime: Optional[RuntimeLoop] = None,
     ):
-        self.sequence_id = sequence_id
-        self.first = int(first)
-        self.target = int(target)  #: guarded-by: cond
-        self.position = int(first)  #: guarded-by: cond (next frame the job renders)
-        self.buffer_limit = int(buffer_limit)
-        self.frames: "OrderedDict[int, object]" = OrderedDict()  #: guarded-by: cond
-        self.cond = threading.Condition()
-        self.done = False  #: guarded-by: cond
-        self.error: Optional[BaseException] = None  #: guarded-by: cond
-        self.joiners = 0  #: guarded-by: cond
+        self._runtime = runtime or get_runtime_loop()
+        self._core = FrameStream(sequence_id, first, target, buffer_limit)
+
+    # -- snapshot reads of the loop-confined core --------------------------------
+    @property
+    def sequence_id(self) -> str:
+        return self._core.sequence_id
+
+    @property
+    def first(self) -> int:
+        return self._core.first
+
+    @property
+    def buffer_limit(self) -> int:
+        return self._core.buffer_limit
+
+    @property
+    def target(self) -> int:
+        return self._core.target
+
+    @property
+    def position(self) -> int:
+        return self._core.position
+
+    @property
+    def frames(self):
+        return self._core.frames
+
+    @property
+    def done(self) -> bool:
+        return self._core.done
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        return self._core.error
+
+    @property
+    def joiners(self) -> int:
+        return self._core.joiners
 
     # -- the worker side ---------------------------------------------------------
     def next_frame(self) -> Optional[int]:
-        """The worker's claim step: the next frame to render, or ``None``.
+        """The worker's claim step: the next frame to render, or ``None``
+        (which marks the flight done in the same loop callback — the
+        store-conditional that makes join-vs-finish race-free)."""
+        return self._runtime.call(self._core.next_frame)
 
-        Returning ``None`` marks the flight done *under the lock*, so a
-        concurrent :meth:`extend` either lands before (and the walk
-        continues) or observes ``done`` and starts a new flight — the
-        store-conditional that makes join-vs-finish race-free.
-        """
-        with self.cond:
-            if self.position >= self.target:
-                self.done = True
-                self.cond.notify_all()
-                return None
-            return self.position
-
-    def publish(self, frame: int, payload: object) -> None:
-        with self.cond:
-            self.frames[frame] = payload
-            while len(self.frames) > self.buffer_limit:
-                self.frames.popitem(last=False)
-            self.position = frame + 1
-            self.cond.notify_all()
+    def publish(self, frame: int, payload: Any) -> None:
+        self._runtime.call(self._core.publish, frame, payload)
 
     def finish(self, error: Optional[BaseException] = None) -> None:
-        with self.cond:
-            self.done = True
-            if error is not None:
-                self.error = error
-            self.cond.notify_all()
+        self._runtime.call(self._core.finish, error)
 
     def curtail(self) -> int:
-        """Stop the walk at its current position; returns the old target.
-
-        The registry's half of replacing a flight that can no longer
-        serve a request (the walk passed the requested start and evicted
-        it): the old walk stops claiming frames — its `next_frame` sees
-        ``position >= target`` and finishes — and the *replacement*
-        flight takes over the remainder of its range, so no frame is
-        claimed by two walks.  Frames already published stay in the
-        buffer for existing waiters.  Returns the target being given up
-        (the flight's position when already done) so the caller can
-        cover the union.
-        """
-        with self.cond:
-            if self.done:
-                return self.position
-            old_target, self.target = self.target, self.position
-            self.cond.notify_all()
-            return old_target
+        """Stop the walk; returns the end of its unserved remainder, or
+        ``0`` when it already finished (see
+        :meth:`repro.runtime.streams.FrameStream.curtail`)."""
+        return self._runtime.call(self._core.curtail)
 
     # -- the client side ---------------------------------------------------------
     def try_join(self, start: int, stop: int) -> bool:
-        """Join the flight for ``[start, stop)`` if it can still serve it.
-
-        Joinable iff this flight can still deliver *start* — it is in
-        the buffer, or still ahead of the walk.  A frame the walk has
-        passed and evicted is refused so the registry can start a fresh
-        flight at it instead of waiting on one that will never look
-        back.  Extends the target to *stop* when joining.
-        """
-        with self.cond:
-            if self.done or self.error is not None:
-                return False
-            if start < self.position and start not in self.frames:
-                return False
-            self.target = max(self.target, int(stop))
-            self.joiners += 1
-            return True
+        """Join the flight for ``[start, stop)`` if it can still serve it."""
+        return self._runtime.call(self._core.try_join, start, stop)
 
     def wait_frame(self, frame: int, timeout: Optional[float] = None):
         """Block until *frame* is available; returns its payload.
@@ -147,24 +137,15 @@ class SequenceFlight:
         :class:`~repro.errors.ServiceError` when *timeout* (a total
         deadline, not per-publish) expires first.
         """
-        deadline = None if timeout is None else time.monotonic() + timeout
-        with self.cond:
-            while True:
-                if frame in self.frames:
-                    return self.frames[frame]
-                if self.error is not None:
-                    raise self.error
-                if self.done or self.position > frame:
-                    return None
-                remaining = None
-                if deadline is not None:
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0:
-                        raise ServiceError(
-                            f"timed out waiting for frame {frame} of "
-                            f"{self.sequence_id[:12]}..."
-                        )
-                self.cond.wait(remaining)
+        try:
+            return self._runtime.run(
+                asyncio.wait_for(self._core.wait_frame(frame), timeout)
+            )
+        except asyncio.TimeoutError:
+            raise ServiceError(
+                f"timed out waiting for frame {frame} of "
+                f"{self.sequence_id[:12]}..."
+            ) from None
 
 
 class SequenceScheduler:
@@ -173,7 +154,7 @@ class SequenceScheduler:
     Parameters
     ----------
     scheduler:
-        The worker pool executing flight jobs.  Owned by default; pass
+        The render pool executing flight jobs.  Owned by default; pass
         ``owns_scheduler=False`` to share a pool with a texture service.
     buffer_limit:
         Published-frame buffer size handed to every flight.
@@ -224,14 +205,22 @@ class SequenceScheduler:
                 # double-delivering) the shared boundary.
                 stop = max(stop, flight.curtail())
             flight = SequenceFlight(
-                sequence_id, start, stop, buffer_limit=self.buffer_limit
+                sequence_id, start, stop,
+                buffer_limit=self.buffer_limit,
+                runtime=self.scheduler.runtime,
             )
             self._flights[sequence_id] = flight
             self.created += 1
             self._serial += 1
             submit_key = f"{sequence_id}#{self._serial}"
 
+        dispatched = threading.Event()
+
         def job() -> None:
+            # The walk must not outrun its own registration: the caller
+            # holds the flight handle before the first claim runs, the
+            # same practical ordering the pre-spine queue handoff gave.
+            dispatched.wait(1.0)
             try:
                 run(flight)
             except BaseException as exc:  # noqa: BLE001 - delivered to waiters
@@ -244,6 +233,7 @@ class SequenceScheduler:
                         del self._flights[sequence_id]
 
         self.scheduler.submit(submit_key, job)
+        dispatched.set()
         return flight, True
 
     def inflight(self) -> int:

@@ -28,11 +28,12 @@ against :func:`~repro.anim.incremental.one_shot_frame`.
 
 from __future__ import annotations
 
+import asyncio
 import os
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import AsyncIterator, Dict, Iterator, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -48,6 +49,7 @@ from repro.errors import AnimationServiceError, ServiceError
 from repro.machine.workload import workload_from_config
 from repro.parallel.planner import DecompositionPlan, DecompositionPlanner
 from repro.parallel.runtime import DivideAndConquerRuntime, spatial_feasibility
+from repro.runtime.streams import BoundedFrameChannel, ChannelClosed
 from repro.service.admission import LatencyPredictor
 from repro.service.cache import (
     DiskBlobStore,
@@ -93,6 +95,85 @@ class FrameResponse:
     key: SequenceKey
     source: str
     latency_s: float
+
+
+class _RangeCursor:
+    """One consumer's walk through a frame range.
+
+    Shared by the blocking iterator (:meth:`AnimationService.stream`)
+    and the async front end (:meth:`AnimationService.stream_async`):
+    both materialise frames through this exact pipeline — cache → delta
+    decode → coalesced render walk — so the two delivery shapes cannot
+    drift apart.  The cursor pins the plan context it was created under:
+    a concurrent re-plan swaps the service's context but never this
+    stream's keys, flight or runtime.
+    """
+
+    def __init__(
+        self,
+        service: "AnimationService",
+        ctx: _PlanContext,
+        stop: int,
+        timeout: Optional[float],
+    ):
+        self.service = service
+        self.ctx = ctx
+        self.stop = stop
+        self.timeout = timeout
+        self.flight: Optional[SequenceFlight] = None
+        self.flight_source = "stream"
+
+    def materialise(self, t: int) -> FrameResponse:
+        """Produce frame *t* (blocking), recording stats and latency."""
+        svc = self.service
+        ctx = self.ctx
+        t0 = time.perf_counter()
+        svc.stats.record_request()
+        try:
+            digest = ctx.sequence.frame_digest(t)
+            texture = None
+            source = "memory"
+            # Bounded retry: a flight can pass `t` after evicting it
+            # from its buffer (or finish early); the frame is then in
+            # the cache — unless the memory tier evicted it too, in
+            # which case a fresh flight re-renders it.
+            for _ in range(8):
+                texture, tier = svc.cache.get(digest)
+                if texture is not None:
+                    source = tier or "memory"
+                    break
+                texture = svc._decode_delta(t, digest, ctx)
+                if texture is not None:
+                    source = "delta"
+                    break
+                if self.flight is None or not self.flight.try_join(t, self.stop):
+                    self.flight, created = svc.scheduler.stream(
+                        ctx.sequence_id, t, self.stop,
+                        lambda fl, ctx=ctx: svc._run_flight(fl, ctx),
+                    )
+                    self.flight_source = "stream" if created else "coalesced"
+                texture = self.flight.wait_frame(t, self.timeout)
+                if texture is not None:
+                    source = self.flight_source
+                    break
+                self.flight = None  # the walk passed us; fall back to cache
+            if texture is None:
+                raise AnimationServiceError(
+                    f"could not materialise frame {t}: render walks kept "
+                    "outpacing this consumer (cache tier too small?)"
+                )
+        except Exception:
+            svc.stats.record_error()
+            raise
+        latency = time.perf_counter() - t0
+        svc.stats.record_response(source, latency)
+        return FrameResponse(
+            frame=t,
+            texture=texture,
+            key=ctx.sequence.frame_key(t),
+            source=source,
+            latency_s=latency,
+        )
 
 
 class AnimationService:
@@ -174,10 +255,10 @@ class AnimationService:
         self.requested_config = config
         self.policy = policy or LifeCyclePolicy()
         self._planner: Optional[DecompositionPlanner] = None
-        self._plan: Optional[DecompositionPlan] = None
-        self._plan_scale = 1.0
+        self._plan: Optional[DecompositionPlan] = None  #: guarded-by: _replan_lock
+        self._plan_scale = 1.0  #: guarded-by: _replan_lock
         self.predictor = predictor
-        self.replans = 0
+        self.replans = 0  #: guarded-by: _replan_lock
         # Frame 0 is loaded only when something actually needs it: the
         # automatic advection step, the planner's workload, or the
         # predictor's grid shape.
@@ -208,8 +289,13 @@ class AnimationService:
             self.delta_transport = DeltaTransport(
                 delta_store, keyframe_every=int(delta_every)
             )
+        # _ctx is published by snapshot-swap: replan_if_drifted builds a
+        # whole new _PlanContext and swaps the reference under
+        # _replan_lock; readers snapshot self._ctx without locking and
+        # finish on whatever context they captured.
+        self._replan_lock = threading.Lock()
         self._ctx = self._make_context(config)
-        self._retired_runtimes: "List[DivideAndConquerRuntime]" = []
+        self._retired_runtimes: "List[DivideAndConquerRuntime]" = []  #: guarded-by: _replan_lock
         self.checkpoint_every = int(checkpoint_every)
         self.verify_every = int(verify_every)
         self.stats = stats or ServiceStats()
@@ -302,60 +388,69 @@ class AnimationService:
     def _stream(
         self, start: int, stop: int, timeout: Optional[float]
     ) -> Iterator[FrameResponse]:
-        # One stream lives entirely on the plan context it started
-        # under: a concurrent re-plan swaps the service's context but
-        # never this stream's keys, flight or runtime.
-        ctx = self._ctx
-        flight: Optional[SequenceFlight] = None
-        flight_source = "stream"
+        cursor = _RangeCursor(self, self._ctx, stop, timeout)
         for t in range(start, stop):
-            t0 = time.perf_counter()
-            self.stats.record_request()
+            yield cursor.materialise(t)
+
+    def stream_async(
+        self,
+        start: int,
+        stop: int,
+        buffer: int = 8,
+        timeout: Optional[float] = None,
+    ) -> "AsyncIterator[FrameResponse]":
+        """Stream frames ``start..stop-1`` as a backpressured async iterator.
+
+        The asyncio-native face of :meth:`stream`, usable from any event
+        loop (the caller's own, not the runtime spine): a producer task
+        materialises frames through the exact blocking pipeline —
+        cache → delta decode → coalesced render walk — off-loop, and
+        pushes them through a :class:`~repro.runtime.streams.BoundedFrameChannel`
+        of *buffer* frames, so rendering runs at most *buffer* frames
+        ahead of ``async for`` consumption instead of buffering the
+        whole range.  Abandoning the iterator (``break`` / ``aclose``)
+        cancels the producer; errors surface after the frames that
+        preceded them, exactly as in the blocking iterator.  (Validation
+        is eager: a closed service or bad range raises here, not at the
+        first ``__anext__``.)
+        """
+        if self._closed:
+            raise ServiceError("animation service is closed")
+        if stop <= start:
+            raise AnimationServiceError(f"empty stream range [{start}, {stop})")
+        self.sequence.check_frame(start)
+        self.sequence.check_frame(stop - 1)
+        cursor = _RangeCursor(self, self._ctx, stop, timeout)
+        return self._stream_async(cursor, start, stop, buffer)
+
+    async def _stream_async(
+        self, cursor: "_RangeCursor", start: int, stop: int, buffer: int
+    ) -> "AsyncIterator[FrameResponse]":
+        channel = BoundedFrameChannel(buffer)
+        loop = asyncio.get_running_loop()
+
+        async def produce() -> None:
             try:
-                digest = ctx.sequence.frame_digest(t)
-                texture = None
-                source = "memory"
-                # Bounded retry: a flight can pass `t` after evicting it
-                # from its buffer (or finish early); the frame is then in
-                # the cache — unless the memory tier evicted it too, in
-                # which case a fresh flight re-renders it.
-                for _ in range(8):
-                    texture, tier = self.cache.get(digest)
-                    if texture is not None:
-                        source = tier or "memory"
-                        break
-                    texture = self._decode_delta(t, digest, ctx)
-                    if texture is not None:
-                        source = "delta"
-                        break
-                    if flight is None or not flight.try_join(t, stop):
-                        flight, created = self.scheduler.stream(
-                            ctx.sequence_id, t, stop,
-                            lambda fl, ctx=ctx: self._run_flight(fl, ctx),
-                        )
-                        flight_source = "stream" if created else "coalesced"
-                    texture = flight.wait_frame(t, timeout)
-                    if texture is not None:
-                        source = flight_source
-                        break
-                    flight = None  # the walk passed us; fall back to cache
-                if texture is None:
-                    raise AnimationServiceError(
-                        f"could not materialise frame {t}: render walks kept "
-                        "outpacing this consumer (cache tier too small?)"
-                    )
-            except Exception:
-                self.stats.record_error()
-                raise
-            latency = time.perf_counter() - t0
-            self.stats.record_response(source, latency)
-            yield FrameResponse(
-                frame=t,
-                texture=texture,
-                key=ctx.sequence.frame_key(t),
-                source=source,
-                latency_s=latency,
-            )
+                for t in range(start, stop):
+                    response = await loop.run_in_executor(None, cursor.materialise, t)
+                    await channel.put(response)
+            except ChannelClosed:
+                pass  # the consumer went away mid-range
+            except BaseException as exc:  # noqa: BLE001 - delivered via the channel
+                channel.close(exc)
+            else:
+                channel.close()
+
+        producer = loop.create_task(produce())
+        try:
+            async for response in channel:
+                yield response
+        finally:
+            producer.cancel()
+            try:
+                await producer
+            except (asyncio.CancelledError, Exception):
+                pass
 
     def request(self, frame: int, timeout: Optional[float] = None) -> FrameResponse:
         """Serve a single frame (a one-frame :meth:`stream`)."""
@@ -560,7 +655,8 @@ class AnimationService:
     @property
     def plan(self) -> Optional[DecompositionPlan]:
         """The resolved decomposition plan (``None`` without auto)."""
-        return self._plan
+        with self._replan_lock:
+            return self._plan
 
     def replan_if_drifted(self, drift: float = 2.0) -> bool:
         """Adopt a new plan when the calibration scale drifted > *drift*.
@@ -574,6 +670,15 @@ class AnimationService:
         pulled out from under them.  Previously cached frames and
         checkpoints keyed by the old identity simply go cold.
 
+        Safe to call concurrently with in-flight streams and with other
+        ``replan_if_drifted`` calls: the drift decision and the context
+        swap happen under the re-plan lock (so two racing calls cannot
+        both retire the same context), while readers keep snapshotting
+        ``self._ctx`` lock-free — the same snapshot-swap discipline as
+        :class:`~repro.service.server.TextureService`'s
+        ``_RenderBinding``.  The :class:`~repro.runtime.supervisor.PlanSupervisor`
+        calls this continuously via :meth:`supervise`.
+
         Returns ``True`` when a new decomposition was adopted.
         """
         if drift <= 1.0:
@@ -583,29 +688,43 @@ class AnimationService:
         scale = self.predictor.scale
         if scale is None:
             return False
-        ratio = scale / self._plan_scale if self._plan_scale > 0 else float("inf")
-        if 1.0 / drift <= ratio <= drift:
-            return False
-        plan = self._planner.plan(
-            self._plan_workload, scale=scale, spatial_ok=self._spatial_ok
-        )
-        self._plan_scale = scale
-        if plan.triple == self._plan.triple:
+        with self._replan_lock:
+            ratio = scale / self._plan_scale if self._plan_scale > 0 else float("inf")
+            if 1.0 / drift <= ratio <= drift:
+                return False
+            plan = self._planner.plan(
+                self._plan_workload, scale=scale, spatial_ok=self._spatial_ok
+            )
+            self._plan_scale = scale
+            if plan.triple == self._plan.triple:
+                self._plan = plan  # same decomposition, fresher pricing
+                return False
+            old_ctx = self._ctx
             self._plan = plan
-            return False
-        old_ctx = self._ctx
-        self._plan = plan
-        self._ctx = self._make_context(plan.apply(self.requested_config))
-        self._retired_runtimes.append(old_ctx.runtime)
+            self._ctx = self._make_context(plan.apply(self.requested_config))
+            self._retired_runtimes.append(old_ctx.runtime)
+            self.replans += 1
         with self._animator_lock:
             idle, self._idle_animator = self._idle_animator, None
         if idle is not None:
+            # Pooled under a context this swap (or a concurrent one)
+            # superseded — _release_animator only re-pools current-ctx
+            # animators, so closing is at worst one warm-up lost.
             idle[1].close()
         with self._book_lock:
             self._cached_frames.clear()
             self._checkpoint_boundaries.clear()
-        self.replans += 1
         return True
+
+    def supervise(self, supervisor, drift: float = 2.0) -> None:
+        """Register with a :class:`~repro.runtime.supervisor.PlanSupervisor`.
+
+        The supervisor folds the predictor's calibration-drift stream
+        into :meth:`replan_if_drifted` at its own cadence — live
+        re-planning while streams are in flight, instead of waiting for
+        a quiesced moment.
+        """
+        supervisor.watch(f"anim:{id(self):x}", lambda: self.replan_if_drifted(drift))
 
     # -- observability -----------------------------------------------------------
     def _delta_manifest_dict(self, ctx: _PlanContext) -> Optional[dict]:
@@ -653,9 +772,10 @@ class AnimationService:
         if idle is not None:
             idle[1].close()
         self.runtime.close()
-        for runtime in self._retired_runtimes:
+        with self._replan_lock:
+            retired, self._retired_runtimes = self._retired_runtimes, []
+        for runtime in retired:
             runtime.close()
-        self._retired_runtimes = []
         if self._disk_dir:
             self.write_manifest()
 

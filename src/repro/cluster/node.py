@@ -22,14 +22,25 @@ ring names the one node that owns that digest:
   backoff; when every route fails, serve locally.  Availability
   degrades to extra renders, not errors.
 
+The front end runs on the process
+:class:`~repro.runtime.loop.RuntimeLoop`: ``asyncio.start_server``
+replaces the accept thread, each live connection is one coroutine task
+(not one thread), and quota decisions happen on the loop before any
+work is scheduled.  Render and proxy work — everything that may block
+on a render pool or a peer round trip — is offloaded to a bounded
+serve executor, so a slow render never stalls the frame pumps of the
+other connections.
+
 Quotas (:class:`~repro.cluster.quotas.TenantQuotas`) are charged once,
 at the node the request entered on; ``direct`` hops skip them.
 """
 
 from __future__ import annotations
 
-import socket
+import asyncio
 import threading
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
 from typing import Any, Dict, Iterable, Optional, Tuple
 
 from repro.cluster import wire
@@ -38,12 +49,22 @@ from repro.cluster.peer import PeerClient, PeerUnavailable
 from repro.cluster.quotas import TenantQuotas
 from repro.cluster.ring import HashRing
 from repro.errors import AdmissionError, ServiceError
+from repro.runtime.loop import RuntimeLoop, get_runtime_loop
 from repro.service.server import TextureService
 
 #: How many distinct owners a proxying node will try before serving the
 #: request itself.  Each failure removes the dead owner from the ring,
 #: so attempts walk successive owners, not the same corpse.
 PROXY_ATTEMPTS = 3
+
+#: Seconds a connection may sit idle between frames before the node
+#: drops it (the old per-socket timeout, now an awaited deadline).
+CONN_IDLE_S = 30.0
+
+#: Cap on concurrently *serving* requests per node.  Connections beyond
+#: this still connect and pump frames (they are cheap coroutines); only
+#: the blocking serve work queues here.
+SERVE_WORKERS = 32
 
 
 class ClusterNode:
@@ -71,6 +92,9 @@ class ClusterNode:
     sequences:
         Sequence manifests advertised in this node's published
         manifest.
+    runtime:
+        The spine the front end runs on; defaults to the process
+        singleton.
     """
 
     def __init__(
@@ -82,6 +106,7 @@ class ClusterNode:
         quotas: Optional[TenantQuotas] = None,
         blob_store=None,
         sequences: Iterable[Dict[str, Any]] = (),
+        runtime: Optional[RuntimeLoop] = None,
     ):
         if not node_id:
             raise ServiceError("node_id must be non-empty")
@@ -93,15 +118,16 @@ class ClusterNode:
         self.ring = HashRing([node_id])
         self._host = host
         self._port = int(port)
+        self._runtime = runtime or get_runtime_loop()
         self._lock = threading.Lock()
         self._peers: Dict[str, PeerClient] = {}  #: guarded-by: _lock
-        self._listener: Optional[socket.socket] = None
-        self._accept_thread: Optional[threading.Thread] = None
-        # (thread, connection) per live client connection, so close()
-        # can sever the sockets — a handler blocked in recv would
-        # otherwise outlive the node and answer as a half-dead zombie
-        # instead of letting peers fail over.
-        self._conns: "list[tuple[threading.Thread, socket.socket]]" = []  #: guarded-by: _lock
+        # Loop-confined: the listening server and one task per live
+        # connection, so shutdown can cancel a handler blocked in a
+        # read — a half-dead zombie answering requests is worse than a
+        # dropped connection, which peers fail over from.
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: "set[asyncio.Task]" = set()
+        self._pool: Optional[ThreadPoolExecutor] = None
         self._closed = False
         self.address: Optional[Tuple[str, int]] = None
 
@@ -134,100 +160,106 @@ class ClusterNode:
 
     # -- serving -----------------------------------------------------------------
     def serve(self) -> Tuple[str, int]:
-        """Bind, listen and start the accept loop; returns the address."""
-        if self._listener is not None:
-            assert self.address is not None
+        """Bind, listen and start serving on the spine; returns the address."""
+        if self.address is not None:
             return self.address
-        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind((self._host, self._port))
-        listener.listen(64)
-        listener.settimeout(0.25)  # poll _closed without busy-waiting
-        self._listener = listener
-        self.address = (self._host, listener.getsockname()[1])
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name=f"cluster-accept-{self.node_id}", daemon=True
+        self._pool = ThreadPoolExecutor(
+            max_workers=SERVE_WORKERS,
+            thread_name_prefix=f"cluster-serve-{self.node_id}",
         )
-        self._accept_thread.start()
+        self.address = self._runtime.run(self._start())
         return self.address
 
-    def _accept_loop(self) -> None:
-        assert self._listener is not None
+    async def _start(self) -> Tuple[str, int]:
+        server = await asyncio.start_server(
+            self._on_connection, self._host, self._port, backlog=64
+        )
+        self._server = server
+        port = server.sockets[0].getsockname()[1]
+        return (self._host, int(port))
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
         while not self._closed:
             try:
-                conn, _ = self._listener.accept()
-            except socket.timeout:
-                continue
+                kind, header, body = await asyncio.wait_for(
+                    wire.recv_message_async(reader), CONN_IDLE_S
+                )
+            except wire.WireClosed:
+                return
+            except (wire.WireError, OSError, asyncio.TimeoutError):
+                # Framing is gone (or the peer idled out); nothing sane
+                # can be sent back.
+                return
+            if self._closed:
+                # A request that raced shutdown: drop the connection so
+                # the requester fails over instead of being told
+                # "closed" by a node that is supposed to be dead.
+                return
+            try:
+                await self._dispatch(writer, kind, header, body)
+            except AdmissionError as exc:
+                await self._send_error(writer, "admission", exc)
+            except ServiceError as exc:
+                await self._send_error(writer, "service", exc)
             except OSError:
-                break  # listener closed under us during shutdown
-            conn.settimeout(30.0)
-            thread = threading.Thread(
-                target=self._serve_connection,
-                args=(conn,),
-                name=f"cluster-conn-{self.node_id}",
-                daemon=True,
-            )
-            with self._lock:
-                self._conns = [
-                    (t, s) for t, s in self._conns if t.is_alive()
-                ] + [(thread, conn)]
-            thread.start()
-
-    def _serve_connection(self, conn: socket.socket) -> None:
-        try:
-            while not self._closed:
-                try:
-                    kind, header, body = wire.recv_message(conn)
-                except wire.WireClosed:
-                    return
-                except (wire.WireError, OSError):
-                    # Framing is gone; nothing sane can be sent back.
-                    return
-                if self._closed:
-                    # A request that raced shutdown: drop the connection
-                    # so the requester fails over instead of being told
-                    # "closed" by a node that is supposed to be dead.
-                    return
-                try:
-                    self._dispatch(conn, kind, header, body)
-                except AdmissionError as exc:
-                    self._send_error(conn, "admission", exc)
-                except ServiceError as exc:
-                    self._send_error(conn, "service", exc)
-                except OSError:
-                    return  # reply failed; peer will retry elsewhere
-        finally:
-            conn.close()
+                return  # reply failed; peer will retry elsewhere
 
     @staticmethod
-    def _send_error(conn: socket.socket, error_kind: str, exc: Exception) -> None:
+    async def _send_error(
+        writer: asyncio.StreamWriter, error_kind: str, exc: Exception
+    ) -> None:
         try:
-            wire.send_message(
-                conn, wire.ERROR, {"error": error_kind, "message": str(exc)}
+            await wire.send_message_async(
+                writer, wire.ERROR, {"error": error_kind, "message": str(exc)}
             )
         except OSError:
             pass  # the requester's retry path handles a vanished reply
 
-    def _dispatch(
-        self, conn: socket.socket, kind: int, header: Dict[str, Any], body: bytes
+    async def _dispatch(
+        self,
+        writer: asyncio.StreamWriter,
+        kind: int,
+        header: Dict[str, Any],
+        body: bytes,
     ) -> None:
         if kind == wire.TEXTURE_REQUEST:
-            self._handle_texture(conn, header)
+            await self._handle_texture(writer, header)
         elif kind == wire.CHUNK_REQUEST:
-            self._handle_chunk(conn, header)
+            await self._handle_chunk(writer, header)
         elif kind == wire.MANIFEST_REQUEST:
-            wire.send_message(
-                conn, wire.MANIFEST_RESPONSE, {"manifest": self.manifest().to_dict()}
+            manifest = await self._offload(self.manifest)
+            await wire.send_message_async(
+                writer, wire.MANIFEST_RESPONSE, {"manifest": manifest.to_dict()}
             )
         elif kind == wire.PING:
-            wire.send_message(conn, wire.PONG, {"node": self.node_id})
+            await wire.send_message_async(writer, wire.PONG, {"node": self.node_id})
         else:
             raise ServiceError(
                 f"unexpected request kind {wire.KIND_NAMES.get(kind, kind)}"
             )
 
+    async def _offload(self, fn, *args, **kwargs):
+        """Run blocking serve work on the bounded serve executor."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._pool, partial(fn, *args, **kwargs))
+
     # -- texture routing ---------------------------------------------------------
-    def _handle_texture(self, conn: socket.socket, header: Dict[str, Any]) -> None:
+    async def _handle_texture(
+        self, writer: asyncio.StreamWriter, header: Dict[str, Any]
+    ) -> None:
         try:
             frame = int(header["frame"])
         except (KeyError, TypeError, ValueError) as exc:
@@ -235,11 +267,15 @@ class ClusterNode:
         tenant = str(header.get("tenant", "default"))
         direct = bool(header.get("direct", False))
         if not direct and self.quotas is not None:
+            # The admission decision runs on the loop, before any serve
+            # work is scheduled: a shed request costs one callback.
             self.quotas.charge(tenant)
-        texture, meta = self.serve_frame(frame, tenant=tenant, direct=direct)
+        texture, meta = await self._offload(
+            self.serve_frame, frame, tenant=tenant, direct=direct
+        )
         tex_header, tex_body = wire.encode_texture(texture)
         tex_header.update(meta)
-        wire.send_message(conn, wire.TEXTURE_RESPONSE, tex_header, tex_body)
+        await wire.send_message_async(writer, wire.TEXTURE_RESPONSE, tex_header, tex_body)
 
     def serve_frame(
         self, frame: int, tenant: str = "default", direct: bool = False
@@ -248,7 +284,8 @@ class ClusterNode:
 
         Returns ``(texture, meta)`` where meta records the digest, the
         serving node and the cache source — the header fields of a
-        texture response.
+        texture response.  Blocking: runs on the serve executor (or any
+        caller thread), never on the loop.
         """
         digest = self.service.render_digest(frame)
         for _attempt in range(PROXY_ATTEMPTS):
@@ -285,17 +322,21 @@ class ClusterNode:
         }
 
     # -- chunks + manifests ------------------------------------------------------
-    def _handle_chunk(self, conn: socket.socket, header: Dict[str, Any]) -> None:
+    async def _handle_chunk(
+        self, writer: asyncio.StreamWriter, header: Dict[str, Any]
+    ) -> None:
         digest = str(header.get("digest", ""))
         payload = (
-            self.blob_store.get_bytes(digest)
+            await self._offload(self.blob_store.get_bytes, digest)
             if self.blob_store is not None and digest
             else None
         )
         if payload is None:
-            wire.send_message(conn, wire.CHUNK_RESPONSE, {"found": False})
+            await wire.send_message_async(writer, wire.CHUNK_RESPONSE, {"found": False})
         else:
-            wire.send_message(conn, wire.CHUNK_RESPONSE, {"found": True}, payload)
+            await wire.send_message_async(
+                writer, wire.CHUNK_RESPONSE, {"found": True}, payload
+            )
 
     def manifest(self) -> ClusterManifest:
         """This node's current published manifest."""
@@ -310,19 +351,27 @@ class ClusterNode:
         if self._closed:
             return
         self._closed = True
-        if self._listener is not None:
-            self._listener.close()
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=5.0)
+        if self.address is not None and self._runtime.alive:
+            self._runtime.run(self._shutdown())
         with self._lock:
             peers, self._peers = dict(self._peers), {}
-            conns, self._conns = list(self._conns), []
         for client in peers.values():
             client.close()
-        for _thread, conn in conns:
-            conn.close()
-        for thread, _conn in conns:
-            thread.join(timeout=1.0)
+        if self._pool is not None:
+            # Don't wait: an offloaded serve blocked on a peer retry
+            # must not hold shutdown hostage; its connection task is
+            # already cancelled and its reply socket closed.
+            self._pool.shutdown(wait=False)
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        tasks = [t for t in self._conn_tasks if not t.done()]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
 
     def __enter__(self) -> "ClusterNode":
         return self

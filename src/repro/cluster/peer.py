@@ -10,6 +10,14 @@ the attempt budget is spent does it surface
 (:class:`repro.cluster.node.ClusterNode`) drops the peer from its ring
 and re-routes to the key's new owner.
 
+On the async spine every round trip is a coroutine on the process
+:class:`~repro.runtime.loop.RuntimeLoop`: the connection pool is
+loop-confined state (``StreamReader``/``StreamWriter`` pairs, no lock),
+socket I/O awaits with a deadline, and the injected backoff sleep runs
+off-loop so a retrying client never stalls the spine.  The public API
+stays blocking — each call is a ``run_coroutine_threadsafe`` shim — so
+render workers and routing threads use the client exactly as before.
+
 Application-level rejections travel as ``ERROR`` frames and are *not*
 retried here: an admission shed (:class:`~repro.errors.AdmissionError`)
 or a service error means the peer is alive and said no — retrying the
@@ -19,8 +27,7 @@ the shed.
 
 from __future__ import annotations
 
-import socket
-import threading
+import asyncio
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -29,6 +36,7 @@ import numpy as np
 from repro.cluster import wire
 from repro.cluster.manifest import ClusterManifest
 from repro.errors import AdmissionError, ServiceError
+from repro.runtime.loop import RuntimeLoop, get_runtime_loop
 
 
 class PeerUnavailable(ServiceError):
@@ -51,6 +59,10 @@ class PeerClient:
         (``backoff_s * 2**attempt``).
     sleep:
         Injectable sleep (tests pass a no-op to keep fault suites fast).
+        Runs on an executor thread, never on the runtime loop.
+    runtime:
+        The spine the client's coroutines run on; defaults to the
+        process singleton.
     """
 
     def __init__(
@@ -60,6 +72,7 @@ class PeerClient:
         attempts: int = 3,
         backoff_s: float = 0.05,
         sleep: Callable[[float], None] = time.sleep,
+        runtime: Optional[RuntimeLoop] = None,
     ):
         if attempts < 1:
             raise ServiceError(f"attempts must be >= 1, got {attempts}")
@@ -68,65 +81,82 @@ class PeerClient:
         self.attempts = int(attempts)
         self.backoff_s = float(backoff_s)
         self._sleep = sleep
-        self._lock = threading.Lock()
-        self._pool: List[socket.socket] = []  #: guarded-by: _lock
-        self._closed = False  #: guarded-by: _lock
+        self._runtime = runtime or get_runtime_loop()
+        # Loop-confined: only coroutines on the runtime loop touch these.
+        self._pool: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        self._closed = False
 
     # -- connection pool ---------------------------------------------------------
-    def _checkout(self) -> socket.socket:
-        with self._lock:
-            if self._closed:
-                raise PeerUnavailable(f"client for {self.address} is closed")
-            if self._pool:
-                return self._pool.pop()
-        sock = socket.create_connection(self.address, timeout=self.timeout)
-        sock.settimeout(self.timeout)
-        return sock
+    async def _checkout(self) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        if self._closed:
+            raise PeerUnavailable(f"client for {self.address} is closed")
+        if self._pool:
+            return self._pool.pop()
+        return await asyncio.wait_for(
+            asyncio.open_connection(self.address[0], self.address[1]),
+            self.timeout,
+        )
 
-    def _checkin(self, sock: socket.socket) -> None:
-        with self._lock:
-            if not self._closed:
-                self._pool.append(sock)
-                return
-        sock.close()
+    def _checkin(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if not self._closed:
+            self._pool.append((reader, writer))
+        else:
+            writer.close()
 
     def close(self) -> None:
-        with self._lock:
-            self._closed = True
-            pool, self._pool = self._pool, []
-        for sock in pool:
-            sock.close()
+        self._runtime.run(self._close_async())
+
+    async def _close_async(self) -> None:
+        self._closed = True
+        pool, self._pool = self._pool, []
+        for _reader, writer in pool:
+            writer.close()
 
     # -- one framed round trip ---------------------------------------------------
     def _call(
         self, kind: int, header: Dict[str, Any], body: bytes = b""
     ) -> Tuple[int, Dict[str, Any], bytes]:
-        """Send one request frame, return the response frame.
+        """Send one request frame, return the response frame (blocking shim)."""
+        return self._runtime.run(self._call_async(kind, header, body))
+
+    async def _call_async(
+        self, kind: int, header: Dict[str, Any], body: bytes = b""
+    ) -> Tuple[int, Dict[str, Any], bytes]:
+        """One request/response round trip on the spine.
 
         Transport faults (refused/reset connections, truncated or
-        corrupt frames) retry on a fresh socket with exponential
-        backoff; ``ERROR`` frames are decoded into the corresponding
-        application exception and never retried.
+        corrupt frames, deadline expiry) retry on a fresh connection
+        with exponential backoff; ``ERROR`` frames are decoded into the
+        corresponding application exception and never retried.
         """
+        loop = asyncio.get_running_loop()
         last: Optional[Exception] = None
         for attempt in range(self.attempts):
             if attempt:
-                self._sleep(self.backoff_s * (2 ** (attempt - 1)))
+                delay = self.backoff_s * (2 ** (attempt - 1))
+                # Off-loop: the injected sleep may really block.
+                await loop.run_in_executor(None, self._sleep, delay)
             try:
-                sock = self._checkout()
-            except OSError as exc:
+                reader, writer = await self._checkout()
+            except (OSError, asyncio.TimeoutError) as exc:
                 last = exc
                 continue
             try:
-                wire.send_message(sock, kind, header, body)
-                response = wire.recv_message(sock)
-            except (OSError, wire.WireError) as exc:
+                await asyncio.wait_for(
+                    wire.send_message_async(writer, kind, header, body), self.timeout
+                )
+                response = await asyncio.wait_for(
+                    wire.recv_message_async(reader), self.timeout
+                )
+            except (OSError, wire.WireError, asyncio.TimeoutError) as exc:
                 # The stream's framing can no longer be trusted; the
-                # socket must not go back in the pool.
-                sock.close()
+                # connection must not go back in the pool.
+                writer.close()
                 last = exc
                 continue
-            self._checkin(sock)
+            self._checkin(reader, writer)
             return self._raise_on_error(response)
         raise PeerUnavailable(
             f"peer {self.address} unavailable after {self.attempts} attempts: {last}"

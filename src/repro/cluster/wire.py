@@ -22,11 +22,18 @@ response is bit-identical to the owner node's local answer.
 
 The module is transport-only: no routing, no sockets of its own — nodes
 (:mod:`repro.cluster.node`) and peer clients (:mod:`repro.cluster.peer`)
-call :func:`send_message`/:func:`recv_message` on sockets they manage.
+call :func:`send_message`/:func:`recv_message` on sockets they manage,
+or the asyncio-stream twins
+:func:`send_message_async`/:func:`recv_message_async` on
+``StreamReader``/``StreamWriter`` pairs.  Both speak the identical
+frame format with the identical :class:`WireClosed`/:class:`WireError`
+contract, so a blocking client talks to an async node (and vice versa)
+without either noticing.
 """
 
 from __future__ import annotations
 
+import asyncio
 import hashlib
 import json
 import struct
@@ -115,6 +122,35 @@ def _recv_exact(sock, n: int, *, at_boundary: bool = False) -> bytes:
     return b"".join(parts)
 
 
+def _parse_prefix(prefix: bytes) -> Tuple[int, int, int]:
+    """Validate the fixed prefix; returns ``(kind, header_len, body_len)``."""
+    magic, kind, header_len, body_len = _PREFIX.unpack(prefix)
+    if magic != MAGIC:
+        raise WireError(f"bad magic {magic!r} (expected {MAGIC!r})")
+    if kind not in KIND_NAMES:
+        raise WireError(f"unknown message kind {kind}")
+    if header_len > MAX_HEADER_BYTES:
+        raise WireError(f"header length {header_len} exceeds cap")
+    if body_len > MAX_BODY_BYTES:
+        raise WireError(f"body length {body_len} exceeds cap")
+    return kind, header_len, body_len
+
+
+def _assemble(
+    kind: int, header_bytes: bytes, body: bytes, digest: bytes
+) -> Tuple[int, Dict[str, Any], bytes]:
+    """Checksum + decode the variable part; returns the frame triple."""
+    if hashlib.sha256(header_bytes + body).digest() != digest:
+        raise WireError("frame checksum mismatch (corrupt frame)")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"malformed frame header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise WireError(f"frame header must be an object, got {type(header).__name__}")
+    return kind, header, body
+
+
 def recv_message(sock) -> Tuple[int, Dict[str, Any], bytes]:
     """Read one frame from *sock*; returns ``(kind, header, body)``.
 
@@ -125,27 +161,52 @@ def recv_message(sock) -> Tuple[int, Dict[str, Any], bytes]:
     framing is unreliable — callers must close the connection.
     """
     prefix = _recv_exact(sock, _PREFIX.size, at_boundary=True)
-    magic, kind, header_len, body_len = _PREFIX.unpack(prefix)
-    if magic != MAGIC:
-        raise WireError(f"bad magic {magic!r} (expected {MAGIC!r})")
-    if kind not in KIND_NAMES:
-        raise WireError(f"unknown message kind {kind}")
-    if header_len > MAX_HEADER_BYTES:
-        raise WireError(f"header length {header_len} exceeds cap")
-    if body_len > MAX_BODY_BYTES:
-        raise WireError(f"body length {body_len} exceeds cap")
+    kind, header_len, body_len = _parse_prefix(prefix)
     header_bytes = _recv_exact(sock, header_len)
     body = _recv_exact(sock, body_len)
     digest = _recv_exact(sock, _DIGEST_BYTES)
-    if hashlib.sha256(header_bytes + body).digest() != digest:
-        raise WireError("frame checksum mismatch (corrupt frame)")
+    return _assemble(kind, header_bytes, body, digest)
+
+
+# -- the asyncio-stream twins -------------------------------------------------
+async def _read_exact_async(
+    reader: "asyncio.StreamReader", n: int, *, at_boundary: bool = False
+) -> bytes:
+    """``readexactly`` with the wire's EOF semantics: a clean close at a
+    frame boundary is :class:`WireClosed`, anything mid-frame is
+    :class:`WireError` corruption."""
     try:
-        header = json.loads(header_bytes.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise WireError(f"malformed frame header: {exc}") from exc
-    if not isinstance(header, dict):
-        raise WireError(f"frame header must be an object, got {type(header).__name__}")
-    return kind, header, body
+        return await reader.readexactly(n)
+    except asyncio.IncompleteReadError as exc:
+        if at_boundary and not exc.partial:
+            raise WireClosed("connection closed") from exc
+        raise WireError(
+            f"connection closed mid-frame ({len(exc.partial)}/{n} bytes)"
+        ) from exc
+
+
+async def recv_message_async(
+    reader: "asyncio.StreamReader",
+) -> Tuple[int, Dict[str, Any], bytes]:
+    """:func:`recv_message` over an asyncio stream — same frame format,
+    same :class:`WireClosed`/:class:`WireError` contract."""
+    prefix = await _read_exact_async(reader, _PREFIX.size, at_boundary=True)
+    kind, header_len, body_len = _parse_prefix(prefix)
+    header_bytes = await _read_exact_async(reader, header_len)
+    body = await _read_exact_async(reader, body_len)
+    digest = await _read_exact_async(reader, _DIGEST_BYTES)
+    return _assemble(kind, header_bytes, body, digest)
+
+
+async def send_message_async(
+    writer: "asyncio.StreamWriter",
+    kind: int,
+    header: Dict[str, Any],
+    body: bytes = b"",
+) -> None:
+    """:func:`send_message` over an asyncio stream (write + drain)."""
+    writer.write(encode_frame(kind, header, body))
+    await writer.drain()
 
 
 # -- texture payloads ---------------------------------------------------------

@@ -1,0 +1,133 @@
+"""Async single-flight: key → in-flight awaitable, coalescing via futures.
+
+The thread-pool scheduler coalesced duplicates through
+:class:`~repro.service.scheduler.RenderTicket` events under a lock; on
+the spine the same contract is a loop-confined dict of
+:class:`Flight`\\s, each carrying one shared :class:`asyncio.Future`.
+Everything here runs on the owning event loop — confinement *is* the
+synchronization, so there is no lock to take and no ordering to get
+wrong beyond the one that matters: :meth:`AsyncSingleFlight.settle`
+retires a flight from the map *before* resolving its future, so a
+request arriving after completion starts fresh (and usually hits the
+cache the flight just populated).
+
+Waiter accounting mirrors the blocking ticket's contract: joining
+increments :attr:`Flight.waiters`, and a waiter that gives up — timeout
+or cancellation — detaches, so shed/cancellation accounting sees the
+true number of live waiters (see
+:meth:`~repro.service.scheduler.RenderTicket.wait`'s detach-on-timeout
+fix, mirrored here in :meth:`AsyncSingleFlight.wait`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, Optional
+
+from repro.errors import ServiceError
+
+
+class Flight:
+    """One in-flight computation; many waiters share its future."""
+
+    __slots__ = ("key", "future", "waiters")
+
+    def __init__(self, key: str, future: "asyncio.Future[Any]"):
+        self.key = key
+        self.future = future
+        self.waiters = 1  # loop-confined (the creator is the first waiter)
+
+
+class AsyncSingleFlight:
+    """Loop-confined map of in-flight computations.
+
+    All methods must run on the owning event loop (as loop callbacks or
+    inside coroutines scheduled there).
+    """
+
+    def __init__(self) -> None:
+        self._flights: Dict[str, Flight] = {}  # loop-confined
+        self.coalesced = 0
+        self.dispatched = 0
+
+    def __len__(self) -> int:
+        return len(self._flights)
+
+    def get(self, key: str) -> Optional[Flight]:
+        return self._flights.get(key)
+
+    def begin(self, key: str) -> Flight:
+        """Register a new flight for *key* (which must not be in flight)."""
+        if key in self._flights:
+            raise ServiceError(f"key {key[:12]}... is already in flight")
+        flight = Flight(key, asyncio.get_running_loop().create_future())
+        self._flights[key] = flight
+        self.dispatched += 1
+        return flight
+
+    def join(self, flight: Flight) -> None:
+        """Attach one more waiter to an existing flight (a coalesced hit)."""
+        flight.waiters += 1
+        self.coalesced += 1
+
+    def detach(self, flight: Flight) -> None:
+        """Drop one waiter that gave up (timeout / cancellation).
+
+        Without this the count only ever grows, and anything pricing
+        work by live waiters — late-cancellation, shed accounting —
+        over-counts forever.
+        """
+        if flight.waiters > 0:
+            flight.waiters -= 1
+
+    def settle(
+        self,
+        flight: Flight,
+        result: Any = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        """Resolve the flight, retiring it from the map *first*."""
+        self._flights.pop(flight.key, None)
+        if flight.future.done():
+            return
+        if error is not None:
+            flight.future.set_exception(error)
+            # Blocking waiters consume the error through their ticket,
+            # not this future; mark it retrieved so an all-threads
+            # request never logs a phantom "exception never retrieved".
+            flight.future.exception()
+        else:
+            flight.future.set_result(result)
+
+    async def wait(self, flight: Flight, timeout: Optional[float] = None) -> Any:
+        """Await the flight's result; detaches on timeout/cancellation.
+
+        The shield keeps the shared future alive when *this* waiter is
+        cancelled — other waiters are still attached to it.
+        """
+        try:
+            return await asyncio.wait_for(asyncio.shield(flight.future), timeout)
+        except (asyncio.TimeoutError, asyncio.CancelledError):
+            self.detach(flight)
+            raise
+
+    async def run(
+        self,
+        key: str,
+        supplier: Callable[[], Awaitable[Any]],
+        timeout: Optional[float] = None,
+    ) -> Any:
+        """Coalesce around *supplier*: one run per key, shared by all
+        concurrent callers; later callers await the first's future."""
+        existing = self.get(key)
+        if existing is not None:
+            self.join(existing)
+            return await self.wait(existing, timeout)
+        flight = self.begin(key)
+        try:
+            result = await supplier()
+        except BaseException as exc:  # noqa: BLE001 - delivered to waiters
+            self.settle(flight, error=exc)
+            raise
+        self.settle(flight, result)
+        return result

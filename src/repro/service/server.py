@@ -295,6 +295,25 @@ class TextureService:
         if close_now:
             old.close()
 
+    def _check_drift(self) -> bool:
+        """Supervisor-facing drift check: ``True`` iff a plan was adopted."""
+        with self._replan_lock:
+            before = self.replans
+        self._maybe_replan()
+        with self._replan_lock:
+            return self.replans > before
+
+    def supervise(self, supervisor) -> None:
+        """Register with a :class:`~repro.runtime.supervisor.PlanSupervisor`.
+
+        Turns re-planning from a render-epilogue side effect into a
+        continuous loop task: the supervisor folds the predictor's
+        calibration-drift stream into :meth:`_maybe_replan` at its own
+        cadence, so a service that has gone idle (or serves only cache
+        hits) still adopts a better plan when the host drifts.
+        """
+        supervisor.watch(f"texture:{id(self):x}", self._check_drift)
+
     # -- internals -------------------------------------------------------------
     def _bind_render(self) -> _RenderBinding:
         """Snapshot (config, fingerprint, renderer) consistently.

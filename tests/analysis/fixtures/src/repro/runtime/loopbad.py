@@ -1,0 +1,35 @@
+"""Fixture: every blocking shape the async-discipline checker must catch.
+
+Seeds a ``time.sleep`` on the loop, a blocking socket construction, a
+non-awaited ``Event.wait`` and a non-awaited ``sock.recv`` — plus a
+nested *sync* closure whose ``time.sleep`` must NOT fire (it is an
+executor thunk, off-loop by construction).
+"""
+
+import asyncio
+import socket
+import threading
+import time
+
+
+class BadPump:
+    def __init__(self):
+        self.ready = threading.Event()
+
+    async def throttle(self):
+        time.sleep(0.1)  # blocks the whole loop
+
+    async def dial(self, address):
+        sock = socket.create_connection(address)
+        return sock
+
+    async def pump(self, sock):
+        self.ready.wait(1.0)  # sync Event.wait, never awaited
+        return sock.recv(4096)
+
+    async def offload(self):
+        def thunk():
+            time.sleep(0.1)  # fine: runs on an executor thread
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, thunk)

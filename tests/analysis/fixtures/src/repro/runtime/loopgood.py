@@ -1,0 +1,30 @@
+"""Fixture: disciplined async code the checker must pass untouched.
+
+Awaited async twins (``asyncio.sleep``, ``open_connection``, an awaited
+``.wait()``), executor offload for genuinely blocking work, and a sync
+helper that blocks legitimately because it never runs on the loop.
+"""
+
+import asyncio
+import time
+
+
+class GoodPump:
+    async def throttle(self):
+        await asyncio.sleep(0.1)
+
+    async def dial(self, address):
+        reader, writer = await asyncio.open_connection(address[0], address[1])
+        return reader, writer
+
+    async def pump(self, flight):
+        await flight.wait()  # the async twin: awaited is fine
+        return await asyncio.wait_for(flight.wait(), 1.0)
+
+    async def offload(self, sleep=time.sleep):
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, sleep, 0.1)
+
+    def blocking_shim(self):
+        time.sleep(0.01)  # sync method: off-loop, allowed
+        return True

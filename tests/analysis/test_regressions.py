@@ -52,10 +52,12 @@ class TestShippedBugsStayDead:
     def test_admission_fed_raw_inflight_len_is_caught(self, tmp_path):
         # PR 5 fixed the scheduler handing admission the raw in-flight
         # count (including already-executing renders), which over-shed.
+        # The async-spine scheduler keeps the same invariant with
+        # loop-confined state: backlog = flights minus executing.
         root = _scratch_tree(
             tmp_path, SCHEDULER,
-            old="self._admit(len(self._inflight) - self._executing)",
-            new="self._admit(len(self._inflight))",
+            old="self._admit(len(self._flights) - self._executor.active)",
+            new="self._admit(len(self._flights))",
         )
         report = _run(root)
         assert any(f.rule == "admission-backlog" for f in report.findings)

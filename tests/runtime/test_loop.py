@@ -1,0 +1,115 @@
+"""RuntimeLoop: the one event loop everything above it schedules onto."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.runtime.loop import RuntimeLoop, get_runtime_loop
+
+
+@pytest.fixture
+def rt():
+    with RuntimeLoop(name="rt-test") as runtime:
+        yield runtime
+
+
+class TestSingleton:
+    def test_process_singleton_is_stable(self):
+        assert get_runtime_loop() is get_runtime_loop()
+
+    def test_singleton_is_alive_and_daemonic(self):
+        runtime = get_runtime_loop()
+        assert runtime.alive
+        assert runtime._thread.daemon
+
+
+class TestCrossing:
+    def test_run_returns_coroutine_result(self, rt):
+        async def answer():
+            return 42
+
+        assert rt.run(answer()) == 42
+
+    def test_run_propagates_exceptions(self, rt):
+        async def boom():
+            raise ValueError("kapow")
+
+        with pytest.raises(ValueError, match="kapow"):
+            rt.run(boom())
+
+    def test_run_timeout_raises_service_error(self, rt):
+        with pytest.raises(ServiceError, match="timed out"):
+            rt.run(asyncio.sleep(30.0), timeout=0.05)
+
+    def test_call_executes_on_the_loop_thread(self, rt):
+        name = rt.call(lambda: threading.current_thread().name)
+        assert name == "rt-test"
+        assert rt.call(lambda: asyncio.get_running_loop()) is rt.loop
+
+    def test_call_soon_fires_callback(self, rt):
+        fired = threading.Event()
+        rt.call_soon(fired.set)
+        assert fired.wait(5.0)
+
+    def test_blocking_run_from_loop_thread_is_refused(self, rt):
+        # The deadlock guard: a blocking shim on the loop thread would
+        # wait on a result only the loop thread itself can produce.
+        def shim_from_the_loop():
+            return rt.run(asyncio.sleep(0))
+
+        with pytest.raises(ServiceError, match="deadlock"):
+            rt.call(shim_from_the_loop)
+
+    def test_in_loop_thread_is_accurate(self, rt):
+        assert not rt.in_loop_thread()
+        assert rt.call(rt.in_loop_thread)
+
+
+class TestClock:
+    def test_time_is_monotone_nondecreasing(self, rt):
+        a = rt.time()
+        b = rt.time()
+        assert b >= a
+
+    def test_time_matches_loop_clock(self, rt):
+        # Admission windows and supervisor cadence compare against
+        # loop-side timestamps; both must read the same clock.
+        loop_side = rt.call(rt.loop.time)
+        assert abs(rt.time() - loop_side) < 5.0
+
+
+class TestLifecycle:
+    def test_shutdown_ends_the_loop(self):
+        runtime = RuntimeLoop(name="rt-brief")
+        assert runtime.alive
+        runtime.shutdown()
+        assert not runtime.alive
+
+    def test_submit_after_shutdown_raises(self):
+        runtime = RuntimeLoop(name="rt-dead")
+        runtime.shutdown()
+        with pytest.raises(ServiceError, match="shut down"):
+            runtime.submit(asyncio.sleep(0))
+
+    def test_shutdown_cancels_pending_tasks(self):
+        runtime = RuntimeLoop(name="rt-cancel")
+        cancelled = threading.Event()
+
+        async def linger():
+            try:
+                await asyncio.sleep(60.0)
+            except asyncio.CancelledError:
+                cancelled.set()
+                raise
+
+        runtime.submit(linger())
+        runtime.call(lambda: None)  # ensure the task is scheduled
+        runtime.shutdown()
+        assert cancelled.wait(5.0)
+
+    def test_context_manager_shuts_down(self):
+        with RuntimeLoop(name="rt-ctx") as runtime:
+            assert runtime.alive
+        assert not runtime.alive

@@ -1,0 +1,199 @@
+"""AsyncSingleFlight: coalescing, waiter accounting, settle ordering."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.runtime.singleflight import AsyncSingleFlight
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCoalescing:
+    def test_concurrent_runs_share_one_supplier_call(self):
+        async def main():
+            flights = AsyncSingleFlight()
+            calls = []
+
+            async def supplier():
+                calls.append(1)
+                await asyncio.sleep(0.01)
+                return "payload"
+
+            results = await asyncio.gather(
+                *(flights.run("k", supplier) for _ in range(5))
+            )
+            return flights, calls, results
+
+        flights, calls, results = run(main())
+        assert calls == [1]
+        assert results == ["payload"] * 5
+        assert flights.dispatched == 1
+        assert flights.coalesced == 4
+
+    def test_distinct_keys_dispatch_independently(self):
+        async def main():
+            flights = AsyncSingleFlight()
+
+            async def supplier(key):
+                return key.upper()
+
+            a, b = await asyncio.gather(
+                flights.run("a", lambda: supplier("a")),
+                flights.run("b", lambda: supplier("b")),
+            )
+            return flights, a, b
+
+        flights, a, b = run(main())
+        assert (a, b) == ("A", "B")
+        assert flights.dispatched == 2
+        assert flights.coalesced == 0
+
+    def test_sequential_same_key_runs_again(self):
+        async def main():
+            flights = AsyncSingleFlight()
+            calls = []
+
+            async def supplier():
+                calls.append(1)
+                return len(calls)
+
+            first = await flights.run("k", supplier)
+            second = await flights.run("k", supplier)
+            return flights, first, second
+
+        flights, first, second = run(main())
+        assert (first, second) == (1, 2)
+        assert flights.dispatched == 2
+
+
+class TestFlightMap:
+    def test_begin_duplicate_key_raises(self):
+        async def main():
+            flights = AsyncSingleFlight()
+            flights.begin("deadbeefdeadbeef")
+            with pytest.raises(ServiceError, match="already in flight"):
+                flights.begin("deadbeefdeadbeef")
+
+        run(main())
+
+    def test_settle_retires_before_resolving(self):
+        # A waiter woken by settle must observe the flight gone from
+        # the map, so a same-key request it issues starts fresh.
+        async def main():
+            flights = AsyncSingleFlight()
+            flight = flights.begin("k")
+            seen = []
+
+            async def waiter():
+                await flights.wait(flight)
+                seen.append(len(flights))
+
+            task = asyncio.ensure_future(waiter())
+            await asyncio.sleep(0)
+            flights.settle(flight, "done")
+            await task
+            return seen
+
+        assert run(main()) == [0]
+
+    def test_error_settle_raises_in_every_waiter(self):
+        async def main():
+            flights = AsyncSingleFlight()
+
+            async def supplier():
+                await asyncio.sleep(0.01)
+                raise RuntimeError("render failed")
+
+            results = await asyncio.gather(
+                *(flights.run("k", supplier) for _ in range(3)),
+                return_exceptions=True,
+            )
+            return flights, results
+
+        flights, results = run(main())
+        assert all(isinstance(r, RuntimeError) for r in results)
+        assert len(flights) == 0
+
+
+class TestWaiterAccounting:
+    def test_join_and_detach_track_live_waiters(self):
+        async def main():
+            flights = AsyncSingleFlight()
+            flight = flights.begin("k")
+            assert flight.waiters == 1
+            flights.join(flight)
+            flights.join(flight)
+            assert flight.waiters == 3
+            flights.detach(flight)
+            assert flight.waiters == 2
+            flights.detach(flight)
+            flights.detach(flight)
+            flights.detach(flight)  # never goes negative
+            assert flight.waiters == 0
+
+        run(main())
+
+    def test_wait_timeout_detaches_the_waiter(self):
+        # Mirror of RenderTicket.wait's detach-on-timeout fix: a waiter
+        # that gives up must not count as live forever.
+        async def main():
+            flights = AsyncSingleFlight()
+            flight = flights.begin("k")
+            flights.join(flight)
+            assert flight.waiters == 2
+            with pytest.raises(asyncio.TimeoutError):
+                await flights.wait(flight, timeout=0.01)
+            assert flight.waiters == 1
+            flights.settle(flight, "late")
+            return flight
+
+        run(main())
+
+    def test_cancelled_waiter_detaches_without_killing_the_flight(self):
+        async def main():
+            flights = AsyncSingleFlight()
+            flight = flights.begin("k")
+            flights.join(flight)
+
+            async def waiter():
+                return await flights.wait(flight)
+
+            task = asyncio.ensure_future(waiter())
+            await asyncio.sleep(0)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            # The shield kept the shared future alive for the creator.
+            assert flight.waiters == 1
+            assert not flight.future.cancelled()
+            flights.settle(flight, "survived")
+            return await flights.wait(flight)
+
+        assert run(main()) == "survived"
+
+    def test_timed_out_waiter_still_left_result_for_others(self):
+        async def main():
+            flights = AsyncSingleFlight()
+
+            async def slow():
+                await asyncio.sleep(0.05)
+                return "eventually"
+
+            async def impatient():
+                existing = flights.get("k")
+                flights.join(existing)
+                try:
+                    await flights.wait(existing, timeout=0.001)
+                except asyncio.TimeoutError:
+                    return "gave up"
+
+            patient = asyncio.ensure_future(flights.run("k", slow))
+            await asyncio.sleep(0)
+            gave_up = await impatient()
+            return gave_up, await patient
+
+        assert run(main()) == ("gave up", "eventually")

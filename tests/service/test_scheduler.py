@@ -108,6 +108,28 @@ class TestErrorsAndLifecycle:
         hold.set()
         scheduler.close()
 
+    def test_wait_timeout_detaches_the_waiter(self):
+        # Regression: a timed-out waiter used to stay attached to the
+        # flight forever, so anything pricing work by live waiters —
+        # shed and late-cancellation accounting — over-counted for the
+        # rest of the flight's life.
+        scheduler = RequestScheduler(n_workers=1)
+        hold = threading.Event()
+        ticket, _ = scheduler.submit("k", lambda: hold.wait(10.0) and np.zeros((2, 2)))
+        joined, created = scheduler.submit("k", lambda: np.zeros((2, 2)))
+        assert not created
+        assert ticket.waiters == 2
+        with pytest.raises(ServiceError, match="timed out"):
+            joined.wait(0.05)
+        # The detach hops onto the runtime loop; poll the snapshot read.
+        deadline = time.monotonic() + 5.0
+        while ticket.waiters != 1 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert ticket.waiters == 1
+        hold.set()
+        assert ticket.wait(5.0).shape == (2, 2)
+        scheduler.close()
+
     def test_submit_after_close_raises(self):
         scheduler = RequestScheduler(n_workers=1)
         scheduler.close()

@@ -1,6 +1,6 @@
 """The repo-specific rule set.
 
-Five checkers, one per invariant class the repository's correctness
+Six checkers, one per invariant class the repository's correctness
 story rests on (see ``docs/static_analysis.md`` for the full catalogue):
 
 * :class:`~tools.analysis.checkers.determinism.DeterminismChecker` —
@@ -16,7 +16,10 @@ story rests on (see ``docs/static_analysis.md`` for the full catalogue):
   shared-memory segments unlink, executors shut down, process-pool
   dispatch accounts for ``BaseException``, ``open()`` uses ``with``;
 * :class:`~tools.analysis.checkers.atomicwrite.AtomicWriteChecker` —
-  durable artifacts land via the temp + ``os.replace`` idiom.
+  durable artifacts land via the temp + ``os.replace`` idiom;
+* :class:`~tools.analysis.checkers.asyncdiscipline.AsyncDisciplineChecker` —
+  ``async def``\\ s on the runtime spine never call blocking primitives
+  (``time.sleep``, blocking sockets, non-awaited ``.wait()``).
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from __future__ import annotations
 from typing import List
 
 from tools.analysis.core import Checker
+from tools.analysis.checkers.asyncdiscipline import AsyncDisciplineChecker
 from tools.analysis.checkers.atomicwrite import AtomicWriteChecker
 from tools.analysis.checkers.determinism import DeterminismChecker
 from tools.analysis.checkers.fingerprint import FingerprintChecker
@@ -31,6 +35,7 @@ from tools.analysis.checkers.lifecycle import ResourceLifecycleChecker
 from tools.analysis.checkers.locks import LockDisciplineChecker
 
 __all__ = [
+    "AsyncDisciplineChecker",
     "AtomicWriteChecker",
     "DeterminismChecker",
     "FingerprintChecker",
@@ -48,4 +53,5 @@ def all_checkers() -> List[Checker]:
         LockDisciplineChecker(),
         ResourceLifecycleChecker(),
         AtomicWriteChecker(),
+        AsyncDisciplineChecker(),
     ]

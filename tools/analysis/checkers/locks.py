@@ -110,10 +110,10 @@ class LockDisciplineChecker(Checker):
             return guards
 
         for name, klass in classes.items():
-            guards = resolved_guards(name, set())
-            if not guards:
-                continue
-            yield from self._check_class(mod, klass, guards)
+            # The admission-backlog rule applies to every class (a
+            # lock-free scheduler still has admission); the guarded-by
+            # walk is a no-op when the class declares no guards.
+            yield from self._check_class(mod, klass, resolved_guards(name, set()))
 
     # -- per-class walk --------------------------------------------------------
     def _check_class(
